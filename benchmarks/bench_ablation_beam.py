@@ -1,0 +1,49 @@
+"""Ablation A3: beam width sweep for the legality beam search (§4.3).
+
+The paper's beam search takes the top-k tables per step; this bench
+sweeps k and reports join-order quality (mean JOEU, exact-optimal
+fraction) and decode latency — the exploration/latency trade-off the
+beam width controls.
+
+Run:  pytest benchmarks/bench_ablation_beam.py --benchmark-only -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import joeu
+
+
+def test_beam_width_sweep(benchmark, study):
+    db_name = study.db.name
+    model = study.train_mtmlf("MTMLF-QO")
+    test = [item for item in study.test if item.optimal_order is not None]
+    assert test
+
+    def sweep():
+        results = {}
+        for width in (1, 2, 4):
+            start = time.perf_counter()
+            scores, hits = [], 0
+            for item in test:
+                order = model.predict_join_order(db_name, item, beam_width=width)
+                scores.append(joeu(order, item.optimal_order))
+                hits += order == item.optimal_order
+            elapsed = time.perf_counter() - start
+            results[width] = (float(np.mean(scores)), hits / len(test), elapsed / len(test))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: beam width k (legality-aware beam search)")
+    print("-" * 62)
+    print(f"{'k':>3}{'mean JOEU':>14}{'optimal %':>12}{'ms/query':>14}")
+    for width, (mean_joeu, optimal, latency) in sorted(results.items()):
+        print(f"{width:>3}{mean_joeu:>14.3f}{100 * optimal:>11.1f}%{1000 * latency:>13.2f}")
+
+    # Wider beams may only improve the (greedy) k=1 sequence likelihood
+    # ranking; quality must never collapse.
+    for mean_joeu, optimal, _ in results.values():
+        assert 0.0 <= mean_joeu <= 1.0
+        assert 0.0 <= optimal <= 1.0

@@ -1,0 +1,79 @@
+"""Figures 3-4: tree-structured plan codec (Section 4.1).
+
+The paper's Figures 3 and 4 illustrate the left-deep and bushy plan
+trees and their complete-binary-tree decoding embeddings.  This bench
+regenerates the exact embedding vectors of the paper's two examples and
+measures the codec's throughput on random plans (the codec runs inside
+the training loop, so its speed matters).
+
+Run:  pytest benchmarks/bench_fig34_tree_codec.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.core import (
+    JoinTree,
+    decoding_embeddings,
+    join_tree_from_order,
+    tree_from_embeddings,
+)
+
+
+def paper_left_deep():
+    return join_tree_from_order(["T1", "T2", "T3", "T4"])
+
+
+def paper_bushy():
+    return JoinTree(
+        left=JoinTree(left=JoinTree(table="T1"), right=JoinTree(table="T2")),
+        right=JoinTree(left=JoinTree(table="T3"), right=JoinTree(table="T4")),
+    )
+
+
+def test_fig4_paper_embeddings(benchmark):
+    """Regenerate the exact decoding embeddings of Figure 4."""
+
+    def run():
+        return decoding_embeddings(paper_left_deep()), decoding_embeddings(paper_bushy())
+
+    left_deep, bushy = benchmark(run)
+
+    print("\nFigure 4 (reproduced): decoding embeddings")
+    print("left-deep plan j(j(j(T1,T2),T3),T4):")
+    for table in ["T1", "T2", "T3", "T4"]:
+        print(f"  {table}: {left_deep[table].astype(int).tolist()}")
+    print("bushy plan j(j(T1,T2),j(T3,T4)):")
+    for table in ["T1", "T2", "T3", "T4"]:
+        print(f"  {table}: {bushy[table].astype(int).tolist()}")
+
+    np.testing.assert_array_equal(left_deep["T3"], [0, 0, 1, 1, 0, 0, 0, 0])
+    np.testing.assert_array_equal(left_deep["T4"], [0, 0, 0, 0, 1, 1, 1, 1])
+    np.testing.assert_array_equal(bushy["T3"], [0, 0, 1, 0, 0, 0, 0, 0])
+    np.testing.assert_array_equal(bushy["T4"], [0, 0, 0, 1, 0, 0, 0, 0])
+
+
+def test_codec_roundtrip_throughput(benchmark):
+    """Round-trip random plans through the codec (seq-to-tree decode)."""
+    rng = np.random.default_rng(0)
+
+    def random_tree(num_leaves: int) -> JoinTree:
+        names = [f"T{i}" for i in range(num_leaves)]
+
+        def build(leaves):
+            if len(leaves) == 1:
+                return JoinTree(table=leaves[0])
+            split = int(rng.integers(1, len(leaves)))
+            return JoinTree(left=build(leaves[:split]), right=build(leaves[split:]))
+
+        return build(names)
+
+    trees = [random_tree(int(rng.integers(2, 8))) for _ in range(64)]
+
+    def run():
+        ok = 0
+        for tree in trees:
+            if tree_from_embeddings(decoding_embeddings(tree)) == tree:
+                ok += 1
+        return ok
+
+    assert benchmark(run) == len(trees)

@@ -1,0 +1,107 @@
+"""M1: substrate micro-benchmarks.
+
+Throughput of the building blocks beneath the experiments: the
+vectorized equi-join kernel, plan execution, histogram estimation, DP
+join enumeration, the autograd transformer, and the per-query true-
+cardinality oracle.  These bound how far the experiment scale knobs can
+be raised.
+
+Run:  pytest benchmarks/bench_substrates.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.datagen import generate_database
+from repro.engine import execute_plan, left_deep_plan
+from repro.engine.operators import equi_join_positions
+from repro.optimizer import HistogramEstimator, TrueCardinalityOracle, dp_join_enumeration
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def micro_db():
+    return generate_database(seed=5, num_tables=7, row_range=(500, 3000), attr_range=(2, 4))
+
+
+@pytest.fixture(scope="module")
+def micro_queries(micro_db):
+    generator = WorkloadGenerator(micro_db, WorkloadConfig(min_tables=3, max_tables=5, seed=0))
+    return generator.generate(20)
+
+
+def test_equi_join_kernel_100k(benchmark):
+    rng = np.random.default_rng(0)
+    left = rng.integers(0, 10_000, size=100_000)
+    right = rng.integers(0, 10_000, size=100_000)
+    lp, rp = benchmark(equi_join_positions, left, right)
+    assert len(lp) == len(rp)
+
+
+def test_plan_execution_three_way(benchmark, micro_db, micro_queries):
+    query = next(q for q in micro_queries if q.num_tables >= 3)
+    order = micro_db.join_schema.spanning_join_order(query.tables, start=query.tables[0])
+    plan = left_deep_plan(query, order)
+    result = benchmark(execute_plan, plan, micro_db)
+    assert result.cardinality >= 0
+
+
+def test_histogram_estimation(benchmark, micro_db, micro_queries):
+    estimator = HistogramEstimator(micro_db)
+
+    def run():
+        return [estimator.estimate(q, frozenset(q.tables)) for q in micro_queries]
+
+    estimates = benchmark(run)
+    assert all(e >= 0 for e in estimates)
+
+
+def test_dp_enumeration(benchmark, micro_db, micro_queries):
+    estimator = HistogramEstimator(micro_db)
+    query = max(micro_queries, key=lambda q: q.num_tables)
+
+    def run():
+        return dp_join_enumeration(query, estimator)
+
+    planned = benchmark(run)
+    assert planned.plan is not None
+
+
+def test_true_cardinality_oracle(benchmark, micro_db, micro_queries):
+    query = next(q for q in micro_queries if q.num_tables == 3)
+
+    def run():
+        oracle = TrueCardinalityOracle(micro_db)
+        return oracle.estimate(query, frozenset(query.tables))
+
+    assert benchmark(run) >= 0
+
+
+def test_workload_labeling(benchmark, micro_db, micro_queries):
+    labeler = QueryLabeler(micro_db)
+
+    def run():
+        return labeler.label_many(micro_queries[:5], with_optimal_order=True)
+
+    labeled = benchmark(run)
+    assert labeled
+
+
+def test_transformer_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    encoder = nn.TransformerEncoder(48, 4, 2, rng=rng)
+    head = nn.Linear(48, 1, rng=rng)
+    params = encoder.parameters() + head.parameters()
+    x = rng.normal(size=(16, 9, 48))
+    y = rng.normal(size=16)
+
+    def run():
+        for p in params:
+            p.grad = None
+        hidden = encoder(nn.Tensor(x))
+        loss = nn.mse_loss(head(hidden.mean(axis=1)).reshape(16), y)
+        loss.backward()
+        return loss.item()
+
+    assert np.isfinite(benchmark(run))

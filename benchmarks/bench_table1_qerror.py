@@ -1,0 +1,36 @@
+"""Table 1: Q-errors on the JOB-like workload.
+
+Reproduces the paper's Table 1 — cardinality and cost q-errors
+(median / max / mean) for PostgreSQL, Tree-LSTM, MTMLF-QO and the
+single-task ablations MTMLF-CardEst / MTMLF-CostEst.
+
+Expected shape (paper): PostgreSQL ≫ Tree-LSTM > MTMLF-QO; the
+single-task ablations slightly worse than the jointly-trained model.
+
+Run:  pytest benchmarks/bench_table1_qerror.py --benchmark-only -s
+"""
+
+from repro.eval import format_table1
+
+
+def test_table1_qerrors(benchmark, study):
+    """Train all methods and evaluate q-errors (the full Table 1)."""
+
+    def run():
+        return study.table1(with_ablations=True)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table1(rows, title="Table 1 (reproduced): Q-errors on the JOB-like workload"))
+
+    by_name = {row.method: row for row in rows}
+    assert set(by_name) == {"PostgreSQL", "Tree-LSTM", "MTMLF-QO", "MTMLF-CardEst", "MTMLF-CostEst"}
+    for row in rows:
+        for stats in (row.card, row.cost):
+            if stats is not None:
+                assert stats.median >= 1.0
+                assert stats.max >= stats.median
+                assert stats.mean >= 1.0
+    # The paper's headline: the learned multi-task model beats the
+    # classical estimator on mean q-error.
+    assert by_name["MTMLF-QO"].card.mean < by_name["PostgreSQL"].card.mean

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+The experiment benchmarks reproduce the paper's tables at a reduced,
+CPU-friendly scale (see DESIGN.md section 5).  Training fixtures are
+session-scoped so Table 1 and Table 2 benchmarks share one trained
+model set, as in the paper.
+"""
+
+import pytest
+
+from repro.core import ModelConfig
+from repro.datagen import imdb_like
+from repro.eval import SingleDBStudy, StudyConfig
+
+
+BENCH_MODEL = ModelConfig(
+    d_model=48,
+    num_heads=4,
+    encoder_layers=1,
+    shared_layers=2,
+    decoder_layers=2,
+)
+
+BENCH_STUDY = StudyConfig(
+    num_queries=260,
+    min_tables=3,
+    max_tables=6,
+    model=BENCH_MODEL,
+    encoder_queries_per_table=15,
+    encoder_epochs=6,
+    joint_epochs=25,
+    treelstm_epochs=12,
+    filter_probability=0.7,
+    like_probability=0.6,
+    max_filters_per_table=1,
+)
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    """The IMDB-like 21-table database at benchmark scale."""
+    return imdb_like(seed=0, scale=0.5, fk_skew=1.3, fk_correlation=0.8)
+
+
+@pytest.fixture(scope="session")
+def study(imdb_db):
+    """A prepared single-DB study (workload generated and labeled)."""
+    s = SingleDBStudy(imdb_db, BENCH_STUDY)
+    s.prepare()
+    return s

@@ -1,0 +1,79 @@
+"""Quickstart: train MTMLF-QO on a small synthetic database.
+
+Runs the full pipeline end-to-end in under a minute:
+
+1. generate a synthetic database (the paper's Section 6.2 pipeline);
+2. generate + label a JOB-like workload (true cards, costs, optimal
+   join orders from the exact optimizer);
+3. train the per-table encoders (F), then the shared representation and
+   task heads (S, T) jointly on CardEst + CostEst + JoinSel;
+4. compare predictions against ground truth and PostgreSQL-style
+   estimates on held-out queries.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import PostgresBaseline
+from repro.core import DatabaseFeaturizer, JointTrainer, ModelConfig, MTMLFQO
+from repro.datagen import generate_database
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator, split_dataset
+
+
+def main() -> None:
+    print("=== 1. Generate a synthetic database (Section 6.2 pipeline) ===")
+    db = generate_database(seed=7, num_tables=6, row_range=(200, 1000), attr_range=(2, 4))
+    print(f"database {db.name!r}: tables {db.table_names}, {db.total_rows()} total rows")
+
+    print("\n=== 2. Generate and label a JOB-like workload ===")
+    generator = WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=4, seed=0))
+    labeled = QueryLabeler(db).label_many(generator.generate(120), with_optimal_order=True)
+    train, test = split_dataset(labeled, (0.85, 0.15), seed=0)
+    print(f"labeled {len(labeled)} queries ({len(train)} train / {len(test)} test)")
+    example = test[0]
+    print(f"example query: {example.query.to_sql()}")
+    print(f"  true cardinality {example.cardinality}, simulated latency {example.cost:.2f} ms")
+    print(f"  optimal join order: {example.optimal_order}")
+
+    print("\n=== 3. Train MTMLF-QO ===")
+    config = ModelConfig(d_model=48, shared_layers=2, decoder_layers=2)
+    featurizer = DatabaseFeaturizer(db, config)
+    print("training per-table encoders Enc_i (single-table CardEst)...")
+    featurizer.train_encoders(queries_per_table=15, epochs=8)
+    model = MTMLFQO(config)
+    model.attach_featurizer(db.name, featurizer)
+    trainer = JointTrainer(model)
+    print("joint multi-task training of (S) + (T)...")
+    result = trainer.train([(db.name, item) for item in train], epochs=25, batch_size=16)
+    print(f"loss: {result.epoch_losses[0]:.3f} -> {result.final_loss:.3f}")
+
+    print("\n=== 4. Evaluate on held-out queries ===")
+    postgres = PostgresBaseline(db)
+
+    def qerr(pred, true):
+        pred, true = max(pred, 1.0), max(true, 1.0)
+        return max(pred / true, true / pred)
+
+    mtmlf_errors, pg_errors = [], []
+    for item in test:
+        preds = model.predict_cardinalities(db.name, [item])[0]
+        pg_preds = postgres.predict_cards(item)
+        for p, g, t in zip(preds, pg_preds, item.node_cardinalities):
+            mtmlf_errors.append(qerr(p, t))
+            pg_errors.append(qerr(g, t))
+    print(f"cardinality q-error (median): MTMLF-QO {np.median(mtmlf_errors):.2f}  "
+          f"PostgreSQL {np.median(pg_errors):.2f}")
+
+    hits = 0
+    jo_items = [item for item in test if item.optimal_order is not None]
+    for item in jo_items:
+        order = model.predict_join_order(db.name, item)
+        hits += order == item.optimal_order
+    if jo_items:
+        print(f"join order: predicted THE optimal order on {hits}/{len(jo_items)} test queries")
+    print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction")
+
+
+if __name__ == "__main__":
+    main()

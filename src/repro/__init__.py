@@ -1,0 +1,34 @@
+"""Reproduction of "A Unified Transferable Model for ML-Enhanced DBMS".
+
+Paper: Wu et al., CIDR 2022 (arXiv:2105.02418).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy autograd + neural network framework (PyTorch substitute).
+``repro.storage``
+    In-memory columnar tables, schemas, join graphs and statistics.
+``repro.sql``
+    Query model (predicates, joins) and a small SQL parser.
+``repro.engine``
+    Vectorized execution engine, plan trees, cost model, simulated timing.
+``repro.optimizer``
+    Classical cost-based optimizer (the "PostgreSQL" baseline) and the
+    true-cardinality optimal join-order oracle (ECQO substitute).
+``repro.datagen``
+    The paper's Section 6.2 synthetic database generation pipeline and an
+    IMDB-like 21-table instance.
+``repro.workload``
+    JOB-like workload generation and labeling (true card/cost/join order).
+``repro.core``
+    The paper's contribution: the MTMLF-QO model — featurization,
+    per-table encoders, tree serializer, Trans_Share, task heads,
+    Trans_JO with legality beam search, JOEU, joint + sequence-level
+    losses, trainer, and MLA cross-DB meta-learning.
+``repro.baselines``
+    Tree-LSTM cost/cardinality estimator and the PostgreSQL-style rows.
+``repro.eval``
+    Metrics, experiment harnesses for Tables 1-3 and reporting.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""``repro.baselines`` — comparison methods for Tables 1-3."""
+
+from .postgres import PostgresBaseline
+from .treelstm import TreeLSTMEstimator
+
+__all__ = ["PostgresBaseline", "TreeLSTMEstimator"]

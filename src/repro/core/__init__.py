@@ -1,0 +1,73 @@
+"""``repro.core`` — the paper's contribution: the MTMLF-QO model.
+
+Featurization (F), per-table encoders Enc_i, tree serialization with
+decoding embeddings (Figures 3-4), the shared representation Trans_Share
+(S), task heads and the Trans_JO join-order decoder (T), legality-aware
+beam search, JOEU, the Equation 1/3 loss criteria, the joint trainer and
+the MLA cross-DB meta-learner (Algorithm 1).
+"""
+
+from .beam import BeamCandidate, beam_search_join_order, is_legal_order
+from .config import ModelConfig
+from .encoders import DatabaseFeaturizer, TableEncoder
+from .featurize import PredicateFeaturizer
+from .heads import EstimationHead
+from .joeu import joeu, shared_prefix_length
+from .losses import (
+    join_order_token_loss,
+    joint_loss,
+    node_qerror_loss,
+    sequence_level_loss,
+    sequence_log_prob,
+)
+from .federated import FederatedClient, FederatedConfig, FederatedTrainer
+from .meta import MetaLearner, MLAConfig
+from .model import EncodedQuery, MTMLFQO
+from .serializer import (
+    JoinTree,
+    decoding_embeddings,
+    join_tree_from_order,
+    join_tree_from_plan,
+    serialize_plan,
+    tree_from_embeddings,
+)
+from .shared import SharedRepresentation
+from .trainer import JointTrainer, TrainingExample, TrainResult, order_positions
+from .trans_jo import TransJO
+
+__all__ = [
+    "ModelConfig",
+    "PredicateFeaturizer",
+    "TableEncoder",
+    "DatabaseFeaturizer",
+    "SharedRepresentation",
+    "EstimationHead",
+    "TransJO",
+    "MTMLFQO",
+    "EncodedQuery",
+    "BeamCandidate",
+    "beam_search_join_order",
+    "is_legal_order",
+    "joeu",
+    "shared_prefix_length",
+    "node_qerror_loss",
+    "join_order_token_loss",
+    "joint_loss",
+    "sequence_level_loss",
+    "sequence_log_prob",
+    "JointTrainer",
+    "TrainResult",
+    "TrainingExample",
+    "order_positions",
+    "MetaLearner",
+    "MLAConfig",
+    "FederatedTrainer",
+    "FederatedClient",
+    "FederatedConfig",
+    "JoinTree",
+    "join_tree_from_order",
+    "join_tree_from_plan",
+    "serialize_plan",
+    "decoding_embeddings",
+    "tree_from_embeddings",
+]

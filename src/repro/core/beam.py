@@ -1,0 +1,122 @@
+"""Legality-aware beam search for join orders (Section 4.3).
+
+The query's join predicates induce an adjacency matrix over its tables.
+A legal left-deep join order must, at every timestamp after the first,
+pick a table adjacent to at least one already-joined table (no cross
+products).  The beam search expands the top-k candidates per step and
+restricts expansion to legal tables, so every emitted candidate is
+guaranteed executable; for a connected query the search can never dead-
+end (a connected graph always has a spanning order from any start).
+
+``legal=False`` candidates are additionally collectable (by disabling
+the adjacency restriction) to feed the illegal-order penalty term of the
+sequence-level loss (Equation 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["BeamCandidate", "beam_search_join_order", "is_legal_order"]
+
+
+@dataclass
+class BeamCandidate:
+    """One decoded join order with its sequence log-probability."""
+
+    positions: list[int]
+    log_prob: float
+    legal: bool
+
+    def tables(self, table_names: list[str]) -> list[str]:
+        return [table_names[p] for p in self.positions]
+
+
+def is_legal_order(positions: list[int], adjacency: np.ndarray) -> bool:
+    """True iff the order never joins a table disconnected from its prefix."""
+    if not positions:
+        return False
+    joined = {positions[0]}
+    for position in positions[1:]:
+        if not any(adjacency[position, j] for j in joined):
+            return False
+        joined.add(position)
+    return True
+
+
+def beam_search_join_order(
+    trans_jo,
+    memory: nn.Tensor,
+    adjacency: np.ndarray,
+    beam_width: int = 3,
+    enforce_legality: bool = True,
+    max_candidates: int = 16,
+) -> list[BeamCandidate]:
+    """Decode join orders with beam search.
+
+    Parameters
+    ----------
+    trans_jo:
+        A :class:`repro.core.trans_jo.TransJO` (or anything exposing
+        ``step_logits(memory, prefix) -> Tensor``).
+    memory:
+        (1, m, d) single-table representations from Trans_Share.
+    adjacency:
+        (m, m) boolean join adjacency of the query.
+    enforce_legality:
+        When True (inference), only adjacency-respecting expansions are
+        considered — the emitted orders are guaranteed executable.  When
+        False (loss collection), only the "no repeats" rule applies and
+        candidates are labelled legal/illegal afterwards.
+
+    Returns candidates sorted by descending log-probability.
+    """
+    m = memory.shape[1]
+    beams: list[tuple[list[int], float]] = [([], 0.0)]
+    for _ in range(m):
+        expansions: list[tuple[list[int], float]] = []
+        for prefix, score in beams:
+            with nn.no_grad():
+                logits = trans_jo.step_logits(memory, prefix)
+            log_probs = F.log_softmax(logits.reshape(1, -1)).data.reshape(-1)
+            allowed = _allowed_positions(prefix, adjacency, enforce_legality)
+            if not allowed:
+                continue
+            ranked = sorted(allowed, key=lambda p: -log_probs[p])[:beam_width]
+            for position in ranked:
+                expansions.append((prefix + [position], score + float(log_probs[position])))
+        if not expansions:
+            break
+        expansions.sort(key=lambda item: -item[1])
+        beams = expansions[: max(beam_width, 1) if len(expansions[0][0]) < m else max_candidates]
+
+    candidates = [
+        BeamCandidate(
+            positions=prefix,
+            log_prob=score,
+            legal=is_legal_order(prefix, adjacency),
+        )
+        for prefix, score in beams
+        if len(prefix) == m
+    ]
+    candidates.sort(key=lambda c: -c.log_prob)
+    return candidates[:max_candidates]
+
+
+def _allowed_positions(prefix: list[int], adjacency: np.ndarray, enforce_legality: bool) -> list[int]:
+    m = adjacency.shape[0]
+    used = set(prefix)
+    allowed = []
+    for position in range(m):
+        if position in used:
+            continue
+        if enforce_legality and prefix:
+            if not any(adjacency[position, j] for j in prefix):
+                continue
+        allowed.append(position)
+    return allowed

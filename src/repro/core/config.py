@@ -1,0 +1,53 @@
+"""Model hyper-parameters for MTMLF-QO.
+
+The paper (Section 6.1): transformers with 3 blocks and 4 heads for each
+``Enc_i``, ``Trans_Share`` and ``Trans_JO``; two-layer MLP heads; loss
+weights all 1; Adam at 1e-4.  Defaults here keep the paper's shape at a
+CPU-trainable width (``d_model`` 48); everything is overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters shared by the (F), (S) and (T) modules."""
+
+    d_model: int = 48
+    num_heads: int = 4
+    encoder_layers: int = 2     # per-table Enc_i blocks (paper: 3)
+    shared_layers: int = 3      # Trans_Share blocks (paper: 3)
+    decoder_layers: int = 2     # Trans_JO blocks (paper: 3)
+    ff_multiplier: int = 2
+    dropout: float = 0.0
+
+    # Featurization
+    predicate_feature_dim: int = 20   # raw, DB-agnostic predicate features
+    node_extra_dim: int = 16          # raw structural/statistical node features
+
+    # Loss weights (Equation 1); all 1.0 in the paper
+    w_card: float = 1.0
+    w_cost: float = 1.0
+    w_jo: float = 1.0
+
+    # Sequence-level loss (Equation 3)
+    sequence_loss_lambda: float = 4.0
+    beam_width: int = 3
+
+    # Optimization
+    learning_rate: float = 1e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    @property
+    def ff_dim(self) -> int:
+        return self.ff_multiplier * self.d_model
+
+    @property
+    def node_feature_dim(self) -> int:
+        """Raw node feature width before the shared input projection."""
+        return self.d_model + self.node_extra_dim

@@ -1,0 +1,156 @@
+"""(F.i) Featurization: predicates and plan nodes to raw feature vectors.
+
+The design rule of the paper's MLA (Section 3.3) is that *all
+database-specific information is pushed into the (F) module*, while the
+(S)/(T) modules see a database-agnostic representation.  We realise that
+by featurizing with **statistical coordinates** instead of raw values:
+
+- a numeric literal becomes its *quantile position* in the column's
+  histogram (the same physical meaning in every DB);
+- an equality value becomes its estimated *frequency class* (MCV hit or
+  1/ndv residual);
+- LIKE patterns become structural features (wildcard shape, length);
+- a column contributes its log-scale distinct count and type flag;
+- a table contributes log-scale row count.
+
+On top of these fixed-layout vectors, the per-DB learnable parts —
+column embeddings and the per-table ``Enc_i`` encoders — live in
+:mod:`repro.core.encoders`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sql.predicates import (
+    BetweenPredicate,
+    Comparison,
+    CompareOp,
+    Conjunction,
+    InPredicate,
+    LikePredicate,
+)
+from ..storage.catalog import Database
+from .config import ModelConfig
+
+__all__ = ["PredicateFeaturizer"]
+
+# Operator slots in the one-hot prefix of a predicate feature vector.
+_OP_SLOTS = {
+    CompareOp.EQ: 0,
+    CompareOp.NE: 1,
+    CompareOp.LT: 2,
+    CompareOp.LE: 3,
+    CompareOp.GT: 4,
+    CompareOp.GE: 5,
+}
+_SLOT_BETWEEN = 6
+_SLOT_IN = 7
+_SLOT_LIKE = 8
+_SLOT_NOT_LIKE = 9
+_NUM_OP_SLOTS = 10
+
+
+class PredicateFeaturizer:
+    """Maps predicates of one database to fixed-width feature vectors."""
+
+    def __init__(self, db: Database, config: ModelConfig | None = None):
+        self.db = db
+        self.config = config or ModelConfig()
+        if self.config.predicate_feature_dim < _NUM_OP_SLOTS + 9:
+            raise ValueError("predicate_feature_dim too small for the feature layout")
+        # Global column vocabulary of this DB (for learned column embeddings).
+        self.column_index: dict[tuple[str, str], int] = {}
+        for table_name in db.table_names:
+            for column_name in db.table(table_name).column_order:
+                self.column_index[(table_name, column_name)] = len(self.column_index)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.column_index)
+
+    # ------------------------------------------------------------------
+    def _quantile(self, table: str, column: str, value: float) -> float:
+        stats = self.db.statistics(table).column(column)
+        if stats.histogram is None:
+            return 0.5
+        return stats.histogram.selectivity_le(float(value))
+
+    def _column_scalars(self, table: str, column: str) -> list[float]:
+        stats = self.db.statistics(table).column(column)
+        log_ndv = np.log10(max(stats.n_distinct, 1)) / 7.0
+        is_string = 0.0 if stats.histogram is not None else 1.0
+        return [log_ndv, is_string]
+
+    def featurize_predicate(self, predicate) -> np.ndarray:
+        """One predicate -> a ``predicate_feature_dim`` vector.
+
+        Layout: [op one-hot (10) | low-q | high-q | eq-frequency |
+        like shape (4) | log-ndv | is-string | padding].
+        """
+        out = np.zeros(self.config.predicate_feature_dim, dtype=np.float64)
+        table = predicate.table
+        column = predicate.column_names()[0]
+        stats = self.db.statistics(table).column(column)
+
+        low_q, high_q, eq_freq = 0.0, 1.0, 0.0
+        like_shape = [0.0, 0.0, 0.0, 0.0]
+
+        if isinstance(predicate, Comparison):
+            out[_OP_SLOTS[predicate.op]] = 1.0
+            if predicate.op in (CompareOp.EQ, CompareOp.NE):
+                eq_freq = stats.equality_selectivity(predicate.value)
+                if predicate.op is CompareOp.NE:
+                    eq_freq = 1.0 - eq_freq
+            elif isinstance(predicate.value, (int, float, np.floating, np.integer)):
+                q = self._quantile(table, column, float(predicate.value))
+                if predicate.op in (CompareOp.LT, CompareOp.LE):
+                    high_q = q
+                else:
+                    low_q = q
+        elif isinstance(predicate, BetweenPredicate):
+            out[_SLOT_BETWEEN] = 1.0
+            low_q = self._quantile(table, column, predicate.low)
+            high_q = self._quantile(table, column, predicate.high)
+        elif isinstance(predicate, InPredicate):
+            out[_SLOT_IN] = 1.0
+            eq_freq = min(
+                sum(stats.equality_selectivity(v) for v in predicate.values), 1.0
+            )
+        elif isinstance(predicate, LikePredicate):
+            out[_SLOT_NOT_LIKE if predicate.negated else _SLOT_LIKE] = 1.0
+            pattern = predicate.pattern
+            like_shape = [
+                1.0 if pattern.startswith("%") else 0.0,
+                1.0 if pattern.endswith("%") else 0.0,
+                min(sum(c in "%_" for c in pattern) / 4.0, 1.0),
+                min(len(pattern.replace("%", "").replace("_", "")) / 12.0, 1.0),
+            ]
+        else:
+            raise TypeError(f"unsupported predicate type {type(predicate).__name__}")
+
+        cursor = _NUM_OP_SLOTS
+        out[cursor: cursor + 3] = [low_q, high_q, eq_freq]
+        cursor += 3
+        out[cursor: cursor + 4] = like_shape
+        cursor += 4
+        out[cursor: cursor + 2] = self._column_scalars(table, column)
+        return out
+
+    def featurize_conjunction(self, conjunction: Conjunction) -> tuple[np.ndarray, np.ndarray]:
+        """A conjunction -> (token matrix, column-index vector).
+
+        Row 0 is a summary token (all zeros except a table log-size
+        scalar in the last slot); rows 1.. are the predicates.  The
+        column-index vector aligns with rows (index 0 = a shared
+        "no column" slot handled by the caller).
+        """
+        table = conjunction.table
+        tokens = [np.zeros(self.config.predicate_feature_dim, dtype=np.float64)]
+        tokens[0][-1] = np.log10(max(self.db.statistics(table).num_rows, 1)) / 7.0
+        column_ids = [0]
+        for predicate in conjunction.predicates:
+            tokens.append(self.featurize_predicate(predicate))
+            key = (table, predicate.column_names()[0])
+            column_ids.append(self.column_index[key] + 1)  # 0 reserved
+        return np.stack(tokens), np.asarray(column_ids, dtype=np.int64)

@@ -1,0 +1,151 @@
+"""Federated MLA — the paper's Section 7 research opportunity.
+
+The paper's cloud workflow trains MTMLF on many users' databases, and
+explicitly proposes federated learning so the provider never sees raw
+data: users compute gradients locally and share only model updates
+("anonymous training data or gradients of model parameters").
+
+``FederatedTrainer`` implements FedAvg (McMahan et al.) over the shared
+(S) and task (T) modules:
+
+1. the server broadcasts the current (S)/(T) weights to every client;
+2. each client runs local epochs of the Equation 1 criterion on its own
+   labeled workload — raw tuples and queries never leave the client;
+3. the server averages the returned weights, weighted by client example
+   counts.
+
+Per-database featurizers (F) are trained entirely client-side and are
+never shared — consistent with the MLA design (all database-specific
+knowledge stays in (F)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.catalog import Database
+from ..workload.labeler import LabeledQuery
+from .config import ModelConfig
+from .encoders import DatabaseFeaturizer
+from .model import MTMLFQO
+from .trainer import JointTrainer
+
+__all__ = ["FederatedClient", "FederatedTrainer", "FederatedConfig"]
+
+
+@dataclass
+class FederatedConfig:
+    """Knobs for federated pre-training."""
+
+    rounds: int = 5
+    local_epochs: int = 2
+    batch_size: int = 16
+    encoder_queries_per_table: int = 15
+    encoder_epochs: int = 6
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class FederatedClient:
+    """One participating database and its private labeled workload."""
+
+    db: Database
+    workload: list[LabeledQuery]
+    featurizer: DatabaseFeaturizer | None = None
+
+    @property
+    def num_examples(self) -> int:
+        return len(self.workload)
+
+
+class FederatedTrainer:
+    """FedAvg over the (S)/(T) modules of MTMLF-QO."""
+
+    def __init__(self, model_config: ModelConfig | None = None, fed_config: FederatedConfig | None = None):
+        self.model_config = model_config or ModelConfig()
+        self.fed_config = fed_config or FederatedConfig()
+        self.server_model = MTMLFQO(self.model_config)
+        self.round_losses: list[float] = []
+
+    # ------------------------------------------------------------------
+    def prepare_client(self, client: FederatedClient) -> None:
+        """Client-side: train the private featurization module (F)."""
+        if client.featurizer is None:
+            client.featurizer = DatabaseFeaturizer(client.db, self.model_config)
+            client.featurizer.train_encoders(
+                queries_per_table=self.fed_config.encoder_queries_per_table,
+                epochs=self.fed_config.encoder_epochs,
+                seed=self.fed_config.seed,
+                verbose=self.fed_config.verbose,
+            )
+        # The server model needs the featurizer handle to *evaluate* on
+        # this client; in a real deployment evaluation also happens
+        # client-side and only metrics travel.
+        self.server_model.attach_featurizer(client.db.name, client.featurizer)
+
+    def _client_update(self, client: FederatedClient, seed: int) -> tuple[dict, float]:
+        """One client's local training pass; returns (weights, mean loss)."""
+        local = MTMLFQO(self.model_config)
+        local.attach_featurizer(client.db.name, client.featurizer)
+        local.load_state_dict(self.server_model.state_dict())
+        trainer = JointTrainer(local)
+        result = trainer.train(
+            [(client.db.name, item) for item in client.workload],
+            epochs=self.fed_config.local_epochs,
+            batch_size=self.fed_config.batch_size,
+            seed=seed,
+            verbose=False,
+        )
+        return local.state_dict(), result.final_loss
+
+    def train(self, clients: list[FederatedClient]) -> list[float]:
+        """Run federated rounds; returns the per-round mean client loss."""
+        if not clients:
+            raise ValueError("no federated clients")
+        for client in clients:
+            if not client.workload:
+                raise ValueError(f"client {client.db.name!r} has an empty workload")
+            self.prepare_client(client)
+
+        for round_index in range(self.fed_config.rounds):
+            states: list[dict] = []
+            weights: list[float] = []
+            losses: list[float] = []
+            for i, client in enumerate(clients):
+                state, loss = self._client_update(
+                    client, seed=self.fed_config.seed + round_index * 97 + i
+                )
+                states.append(state)
+                weights.append(float(client.num_examples))
+                losses.append(loss)
+            self._aggregate(states, weights)
+            round_loss = float(np.average(losses, weights=weights))
+            self.round_losses.append(round_loss)
+            if self.fed_config.verbose:
+                print(f"  federated round {round_index + 1}/{self.fed_config.rounds}: loss {round_loss:.4f}")
+        return self.round_losses
+
+    def _aggregate(self, states: list[dict], weights: list[float]) -> None:
+        """Server-side FedAvg: example-weighted parameter mean."""
+        total = sum(weights)
+        merged: dict[str, np.ndarray] = {}
+        for name in states[0]:
+            merged[name] = sum(
+                state[name] * (weight / total) for state, weight in zip(states, weights)
+            )
+        self.server_model.load_state_dict(merged)
+
+    # ------------------------------------------------------------------
+    def transfer(self, new_db: Database, featurizer: DatabaseFeaturizer | None = None) -> None:
+        """Deploy the federated model on a new database (train (F) only)."""
+        if featurizer is None:
+            featurizer = DatabaseFeaturizer(new_db, self.model_config)
+            featurizer.train_encoders(
+                queries_per_table=self.fed_config.encoder_queries_per_table,
+                epochs=self.fed_config.encoder_epochs,
+                seed=self.fed_config.seed,
+            )
+        self.server_model.attach_featurizer(new_db.name, featurizer)

@@ -1,0 +1,31 @@
+"""(T.i / T.ii) Task-specific heads ``M_CardEst`` and ``M_CostEst``.
+
+Two-layer MLPs (as in the paper) mapping each shared representation
+vector S_i to the predicted log-cardinality / log-cost of the sub-plan
+rooted at node N_i.  Predictions are in natural-log space; the q-error
+loss (L.i / L.ii) is the absolute log difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import ModelConfig
+
+__all__ = ["EstimationHead"]
+
+
+class EstimationHead(nn.Module):
+    """An MLP head predicting a per-node log-scale quantity."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(config.seed)
+        self.mlp = nn.MLP([config.d_model, config.d_model, 1], rng=rng)
+
+    def forward(self, shared: nn.Tensor) -> nn.Tensor:
+        """(B, L, d_model) -> (B, L) predicted log values."""
+        out = self.mlp(shared)
+        batch, length, _ = out.shape
+        return out.reshape(batch, length)

@@ -1,0 +1,34 @@
+"""JOEU — Join Order Evaluation Understudy (Section 5).
+
+Inspired by BLEU: ``JOEU(u, u*)`` is the length of the shared prefix of
+the generated join order ``u`` and the optimal order ``u*``, divided by
+the sequence length.  Motivation (from the paper): if the partial join
+order up to timestamp t is not optimal, the overall order cannot be
+optimal regardless of what follows, so only the shared prefix counts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["joeu", "shared_prefix_length"]
+
+
+def shared_prefix_length(u: list, u_star: list) -> int:
+    """Length of the common prefix of two sequences."""
+    count = 0
+    for a, b in zip(u, u_star):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+def joeu(u: list, u_star: list) -> float:
+    """JOEU(u, u*) in [0, 1]; 1 iff the orders are identical.
+
+    Sequences of different lengths are compared over the longer length
+    (trailing mismatch counts against the score).
+    """
+    if not u_star and not u:
+        return 1.0
+    length = max(len(u), len(u_star))
+    return shared_prefix_length(u, u_star) / length

@@ -1,0 +1,122 @@
+"""MTMLF-QO loss criteria.
+
+- :func:`node_qerror_loss` — L.i/L.ii: smooth q-error surrogate over the
+  per-node cardinality / cost predictions;
+- :func:`join_order_token_loss` — L.iii: token-level cross entropy over
+  Trans_JO's stepwise distributions;
+- :func:`joint_loss` — Equation 1: ``w_card*L_card + w_cost*L_cost +
+  w_jo*L_jo``;
+- :func:`sequence_level_loss` — Equation 3: the JOEU-weighted
+  sequence-level criterion over beam-search candidates (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .beam import BeamCandidate
+from .joeu import joeu
+
+__all__ = [
+    "node_qerror_loss",
+    "join_order_token_loss",
+    "joint_loss",
+    "sequence_level_loss",
+    "sequence_log_prob",
+]
+
+
+def node_qerror_loss(
+    log_predictions: nn.Tensor, true_values: np.ndarray, mask: np.ndarray | None = None, floor: float = 1.0
+) -> nn.Tensor:
+    """Mean |log pred - log true| over (batch, nodes) predictions.
+
+    Minimising the absolute log difference minimises the geometric-mean
+    q-error ``max(pred/true, true/pred)`` (L.i / L.ii of the paper).
+    """
+    true = np.maximum(np.asarray(true_values, dtype=np.float64), floor)
+    diff = (log_predictions - nn.Tensor(np.log(true))).abs()
+    if mask is not None:
+        weights = np.asarray(mask, dtype=np.float64)
+        count = max(float(weights.sum()), 1.0)
+        return (diff * nn.Tensor(weights)).sum() * (1.0 / count)
+    return diff.mean()
+
+
+def join_order_token_loss(logits: nn.Tensor, target_positions: list[int]) -> nn.Tensor:
+    """Token-level CE averaged over the m timestamps (L.iii)."""
+    return nn.cross_entropy(logits, np.asarray(target_positions, dtype=np.int64))
+
+
+def joint_loss(
+    card_loss: nn.Tensor | None,
+    cost_loss: nn.Tensor | None,
+    jo_loss: nn.Tensor | None,
+    w_card: float = 1.0,
+    w_cost: float = 1.0,
+    w_jo: float = 1.0,
+) -> nn.Tensor:
+    """Equation 1: the weighted multi-task training criterion.
+
+    Tasks may be disabled (for the single-task ablations) by passing
+    None or a zero weight.
+    """
+    total: nn.Tensor | None = None
+    for loss, weight in ((card_loss, w_card), (cost_loss, w_cost), (jo_loss, w_jo)):
+        if loss is None or weight == 0.0:
+            continue
+        term = loss * weight
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("all tasks disabled: nothing to optimize")
+    return total
+
+
+def sequence_log_prob(trans_jo, memory: nn.Tensor, positions: list[int]) -> nn.Tensor:
+    """Differentiable log p(u | x): sum of stepwise log-probabilities."""
+    logits = trans_jo(memory, positions)  # (m, m) teacher-forced on u itself
+    log_probs = F.log_softmax(logits, axis=-1)
+    onehot = F.one_hot(np.asarray(positions, dtype=np.int64), logits.shape[-1])
+    return (log_probs * nn.Tensor(onehot)).sum()
+
+
+def sequence_level_loss(
+    trans_jo,
+    memory: nn.Tensor,
+    optimal_positions: list[int],
+    candidates: list[BeamCandidate],
+    penalty: float = 4.0,
+) -> nn.Tensor:
+    """Equation 3: the sequence-level join-order criterion.
+
+    ``L = -log p(u*|x) + sum_{u in U(x)} (1 - JOEU(u, u*)) log p(u|x)
+    + lambda * log sum_{u in U̅(x)} p(u|x)``
+
+    where U(x) are the *legal* beam candidates, U̅(x) the illegal ones
+    and u* the optimal order.  The second term suppresses legal but
+    suboptimal orders in proportion to how early they diverge; the third
+    suppresses illegal orders with weight ``penalty``.
+    """
+    loss = -sequence_log_prob(trans_jo, memory, optimal_positions)
+
+    illegal_log_probs: list[nn.Tensor] = []
+    for candidate in candidates:
+        if candidate.positions == optimal_positions:
+            continue
+        log_p = sequence_log_prob(trans_jo, memory, candidate.positions)
+        if candidate.legal:
+            weight = 1.0 - joeu(candidate.positions, optimal_positions)
+            if weight > 0.0:
+                loss = loss + log_p * weight
+        else:
+            illegal_log_probs.append(log_p)
+
+    if illegal_log_probs:
+        # log sum_u p(u) computed stably as logsumexp of sequence log-probs.
+        stacked = F.concat([lp.reshape(1) for lp in illegal_log_probs], axis=0)
+        max_val = float(stacked.data.max())
+        shifted = (stacked - max_val).exp().sum().log() + max_val
+        loss = loss + shifted * penalty
+    return loss

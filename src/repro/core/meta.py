@@ -1,0 +1,112 @@
+"""Cross-DB meta-learning: Algorithm 1 (MLA) and transfer/fine-tuning.
+
+MLA trains one MTMLF-QO over N databases:
+
+1. for every DB, train the per-table encoders Enc_j on single-table
+   CardEst (line 4) — this captures all database-specific knowledge;
+2. featurize every labeled query of every DB (line 5-6);
+3. shuffle the pooled training tuples across DBs (line 7) — this is the
+   step that *forces* (S)/(T) to learn database-agnostic knowledge,
+   because one set of weights must fit all DBs simultaneously;
+4. jointly train the (S) and (T) modules on the pooled data (line 8).
+
+Transfer to a new DB then needs only: train the new DB's featurizer
+(cheap single-table queries) and optionally fine-tune (S)/(T) on a
+small number of labeled queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.catalog import Database
+from ..workload.labeler import LabeledQuery
+from .config import ModelConfig
+from .encoders import DatabaseFeaturizer
+from .model import MTMLFQO
+from .trainer import JointTrainer, TrainingExample
+
+__all__ = ["MetaLearner", "MLAConfig"]
+
+
+@dataclass
+class MLAConfig:
+    """Knobs for the meta-learning procedure."""
+
+    encoder_queries_per_table: int = 25
+    encoder_epochs: int = 12
+    joint_epochs: int = 20
+    batch_size: int = 16
+    fine_tune_epochs: int = 5
+    seed: int = 0
+    verbose: bool = False
+
+
+class MetaLearner:
+    """Runs MLA over multiple databases and transfers to new ones."""
+
+    def __init__(self, model_config: ModelConfig | None = None, mla_config: MLAConfig | None = None):
+        self.model_config = model_config or ModelConfig()
+        self.mla_config = mla_config or MLAConfig()
+        self.model = MTMLFQO(self.model_config)
+
+    # ------------------------------------------------------------------
+    def prepare_featurizer(self, db: Database) -> DatabaseFeaturizer:
+        """Train a database's (F) module (Algorithm 1, line 4)."""
+        featurizer = DatabaseFeaturizer(db, self.model_config)
+        featurizer.train_encoders(
+            queries_per_table=self.mla_config.encoder_queries_per_table,
+            epochs=self.mla_config.encoder_epochs,
+            seed=self.mla_config.seed,
+            verbose=self.mla_config.verbose,
+        )
+        self.model.attach_featurizer(db.name, featurizer)
+        return featurizer
+
+    def pretrain(
+        self,
+        databases: list[Database],
+        workloads: list[list[LabeledQuery]],
+    ) -> JointTrainer:
+        """Algorithm 1: train (S)+(T) on the shuffled multi-DB pool."""
+        if len(databases) != len(workloads):
+            raise ValueError("databases and workloads must align")
+        train_data: list[TrainingExample] = []
+        for db, workload in zip(databases, workloads):
+            if db.name not in self.model.featurizers:
+                self.prepare_featurizer(db)
+            train_data.extend((db.name, item) for item in workload)
+        trainer = JointTrainer(self.model)
+        # Line 7's shuffle happens inside JointTrainer.train (per epoch),
+        # interleaving examples from all databases.
+        trainer.train(
+            train_data,
+            epochs=self.mla_config.joint_epochs,
+            batch_size=self.mla_config.batch_size,
+            seed=self.mla_config.seed,
+            verbose=self.mla_config.verbose,
+        )
+        return trainer
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        new_db: Database,
+        fine_tune_workload: list[LabeledQuery] | None = None,
+    ) -> None:
+        """Deploy the pre-trained model on an unseen database.
+
+        Only the new DB's featurizer is trained from scratch (cheap
+        single-table queries); the pre-trained (S)/(T) modules transfer
+        as-is, optionally fine-tuned on a *small* labeled workload.
+        """
+        self.prepare_featurizer(new_db)
+        if fine_tune_workload:
+            trainer = JointTrainer(self.model)
+            trainer.train(
+                [(new_db.name, item) for item in fine_tune_workload],
+                epochs=self.mla_config.fine_tune_epochs,
+                batch_size=self.mla_config.batch_size,
+                seed=self.mla_config.seed,
+                verbose=self.mla_config.verbose,
+            )

@@ -1,0 +1,333 @@
+"""The MTMLF-QO model: (F) featurizers + (S) Trans_Share + (T) task heads.
+
+One :class:`MTMLFQO` instance holds a *single* shared representation
+module and task-specific module, plus one attached
+:class:`DatabaseFeaturizer` per database — mirroring Figure 1: the (F)
+module is database-specific, (S)/(T) are shared across tasks *and*
+databases (which is what MLA exploits).
+
+Per the paper's training rule ("the gradient ... will be backpropagated
+to update the parameters of the (S) and (T) modules only"), featurizer
+outputs are detached inside node assembly; the per-table encoders are
+trained separately (Algorithm 1, line 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..engine.plan import JoinOp, PlanNode, ScanOp
+from ..nn.positional import tree_path_encoding
+from ..workload.labeler import LabeledQuery
+from .beam import BeamCandidate, beam_search_join_order
+from .config import ModelConfig
+from .encoders import DatabaseFeaturizer
+from .heads import EstimationHead
+from .serializer import serialize_plan
+from .shared import SharedRepresentation
+from .trans_jo import TransJO
+
+__all__ = ["MTMLFQO", "EncodedQuery"]
+
+
+class EncodedQuery:
+    """Cached raw features of one labeled query (F-module output)."""
+
+    __slots__ = ("features", "tree_encodings", "leaf_positions", "num_nodes")
+
+    def __init__(self, features: np.ndarray, tree_encodings: np.ndarray, leaf_positions: dict[str, int]):
+        self.features = features              # (L, node_feature_dim)
+        self.tree_encodings = tree_encodings  # (L, d_model)
+        self.leaf_positions = leaf_positions  # table -> node index
+        self.num_nodes = features.shape[0]
+
+
+class MTMLFQO(nn.Module):
+    """The multi-task model for CardEst + CostEst + JoinSel."""
+
+    def __init__(self, config: ModelConfig | None = None):
+        super().__init__()
+        self.config = config or ModelConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.shared = SharedRepresentation(self.config, rng)
+        self.card_head = EstimationHead(self.config, rng)
+        self.cost_head = EstimationHead(self.config, rng)
+        self.trans_jo = TransJO(self.config, rng)
+        self.featurizers: dict[str, DatabaseFeaturizer] = {}
+        self._cache: dict[int, EncodedQuery] = {}
+
+    # -- Module plumbing ------------------------------------------------------
+    def named_parameters(self, prefix: str = ""):
+        found = []
+        found.extend(self.shared.named_parameters(prefix=f"{prefix}shared."))
+        found.extend(self.card_head.named_parameters(prefix=f"{prefix}card_head."))
+        found.extend(self.cost_head.named_parameters(prefix=f"{prefix}cost_head."))
+        found.extend(self.trans_jo.named_parameters(prefix=f"{prefix}trans_jo."))
+        return found
+
+    def shared_task_parameters(self) -> list[nn.Parameter]:
+        """Parameters of the (S) and (T) modules (the trainable set)."""
+        return [p for _, p in self.named_parameters()]
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for module in (self.shared, self.card_head, self.cost_head, self.trans_jo):
+            module._set_mode(training)
+        for featurizer in self.featurizers.values():
+            featurizer._set_mode(training)
+
+    # ------------------------------------------------------------------
+    def attach_featurizer(self, db_name: str, featurizer: DatabaseFeaturizer) -> None:
+        """Register the (F) module of a database."""
+        self.featurizers[db_name] = featurizer
+
+    def featurizer_for(self, db_name: str) -> DatabaseFeaturizer:
+        try:
+            return self.featurizers[db_name]
+        except KeyError:
+            raise KeyError(f"no featurizer attached for database {db_name!r}") from None
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Node assembly (F -> raw node sequence)
+    # ------------------------------------------------------------------
+    def _node_extra_features(self, node: PlanNode, featurizer: DatabaseFeaturizer, depth: int) -> np.ndarray:
+        out = np.zeros(self.config.node_extra_dim, dtype=np.float64)
+        db = featurizer.db
+        total_base = sum(db.statistics(t).num_rows for t in node.tables)
+        out[7] = np.log10(max(total_base, 1)) / 7.0
+        out[8] = len(node.tables) / 10.0
+        out[9] = depth / 10.0
+        if node.is_scan:
+            out[0] = 1.0
+            if node.scan_op is ScanOp.SEQ:
+                out[2] = 1.0
+            elif node.scan_op is ScanOp.INDEX:
+                out[3] = 1.0
+            out[11] = len(node.filter) / 4.0 if node.filter is not None else 0.0
+        else:
+            out[1] = 1.0
+            if node.join_op is JoinOp.HASH:
+                out[4] = 1.0
+            elif node.join_op is JoinOp.MERGE:
+                out[5] = 1.0
+            elif node.join_op is JoinOp.NESTED_LOOP:
+                out[6] = 1.0
+            out[10] = len(node.join_predicates) / 4.0
+            out[12] = len(node.left.tables) / 10.0
+            out[13] = len(node.right.tables) / 10.0
+        return out
+
+    def _node_content(self, node: PlanNode, featurizer: DatabaseFeaturizer) -> np.ndarray:
+        """The d_model content slice of a node's raw features (detached)."""
+        d = self.config.d_model
+        if node.is_scan:
+            with nn.no_grad():
+                encoded = featurizer.encode_filter(node.filter)
+            return encoded.data.reshape(d)
+        # Joins: mean embedding of the join-key columns (per-DB knowledge).
+        half = d // 2
+        ids = []
+        for predicate in node.join_predicates:
+            ids.append(featurizer.predicates.column_index[(predicate.left, predicate.left_column)] + 1)
+            ids.append(featurizer.predicates.column_index[(predicate.right, predicate.right_column)] + 1)
+        with nn.no_grad():
+            vectors = featurizer.column_embedding(np.asarray(ids, dtype=np.int64))
+        content = np.zeros(d, dtype=np.float64)
+        content[:half] = vectors.data.mean(axis=0)
+        return content
+
+    def encode_query(self, db_name: str, labeled: LabeledQuery) -> EncodedQuery:
+        """Run the (F) module on one query's plan; cached per LabeledQuery."""
+        key = id(labeled)
+        if key in self._cache:
+            return self._cache[key]
+        featurizer = self.featurizer_for(db_name)
+        nodes, positions = serialize_plan(labeled.plan)
+        features = np.zeros((len(nodes), self.config.node_feature_dim), dtype=np.float64)
+        tree_enc = np.zeros((len(nodes), self.config.d_model), dtype=np.float64)
+        leaf_positions: dict[str, int] = {}
+        for index, (node, position) in enumerate(zip(nodes, positions)):
+            features[index, : self.config.d_model] = self._node_content(node, featurizer)
+            features[index, self.config.d_model:] = self._node_extra_features(node, featurizer, position.depth)
+            tree_enc[index] = tree_path_encoding(position, self.config.d_model)
+            if node.is_scan:
+                leaf_positions[node.table] = index
+        encoded = EncodedQuery(features, tree_enc, leaf_positions)
+        self._cache[key] = encoded
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def forward_batch(
+        self, db_name: str, items: list[LabeledQuery]
+    ) -> tuple[nn.Tensor, np.ndarray, list[EncodedQuery]]:
+        """Shared representations for a batch of queries.
+
+        Returns ``(S, pad_mask, encodings)`` where S is
+        (B, Lmax, d_model) and pad_mask is True at padded node slots.
+        """
+        encodings = [self.encode_query(db_name, item) for item in items]
+        max_len = max(e.num_nodes for e in encodings)
+        batch = np.zeros((len(items), max_len, self.config.node_feature_dim), dtype=np.float64)
+        trees = np.zeros((len(items), max_len, self.config.d_model), dtype=np.float64)
+        pad_mask = np.ones((len(items), max_len), dtype=bool)
+        for i, encoding in enumerate(encodings):
+            batch[i, : encoding.num_nodes] = encoding.features
+            trees[i, : encoding.num_nodes] = encoding.tree_encodings
+            pad_mask[i, : encoding.num_nodes] = False
+        shared = self.shared(nn.Tensor(batch), trees, key_padding_mask=pad_mask)
+        return shared, pad_mask, encodings
+
+    def predict_log_nodes(
+        self, db_name: str, items: list[LabeledQuery]
+    ) -> tuple[nn.Tensor, nn.Tensor, np.ndarray, list[EncodedQuery], nn.Tensor]:
+        """Per-node log-card and log-cost predictions for a batch."""
+        shared, pad_mask, encodings = self.forward_batch(db_name, items)
+        log_cards = self.card_head(shared)
+        log_costs = self.cost_head(shared)
+        return log_cards, log_costs, pad_mask, encodings, shared
+
+    def join_order_memory(
+        self, shared_row: nn.Tensor, encoding: EncodedQuery, table_order: list[str]
+    ) -> nn.Tensor:
+        """Single-table representations (1, m, d) for Trans_JO.
+
+        ``shared_row`` is the (Lmax, d) shared output of one query;
+        ``table_order`` fixes the position -> table correspondence
+        (queries list tables in generation order).
+        """
+        rows = [
+            shared_row[encoding.leaf_positions[table]: encoding.leaf_positions[table] + 1, :]
+            for table in table_order
+        ]
+        memory = nn.functional.concat(rows, axis=0) if len(rows) > 1 else rows[0]
+        return memory.reshape(1, len(rows), self.config.d_model)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_cardinalities(self, db_name: str, items: list[LabeledQuery]) -> list[np.ndarray]:
+        """Per-node cardinality predictions (linear scale), preorder."""
+        self.eval()
+        with nn.no_grad():
+            log_cards, _, _, encodings, _ = self.predict_log_nodes(db_name, items)
+        out = []
+        for i, encoding in enumerate(encodings):
+            out.append(np.exp(log_cards.data[i, : encoding.num_nodes]))
+        return out
+
+    def predict_costs(self, db_name: str, items: list[LabeledQuery]) -> list[np.ndarray]:
+        """Per-node cost predictions (linear scale), preorder."""
+        self.eval()
+        with nn.no_grad():
+            _, log_costs, _, encodings, _ = self.predict_log_nodes(db_name, items)
+        out = []
+        for i, encoding in enumerate(encodings):
+            out.append(np.exp(log_costs.data[i, : encoding.num_nodes]))
+        return out
+
+    def predict_join_order(
+        self,
+        db_name: str,
+        labeled: LabeledQuery,
+        beam_width: int | None = None,
+        enforce_legality: bool = True,
+        rerank_with_cost: bool | None = None,
+    ) -> list[str]:
+        """Beam-search decode a legal join order for one query.
+
+        ``rerank_with_cost`` enables the multi-task synergy the paper
+        motivates ("the inference of each task can effectively take
+        others into consideration"): the top beam candidates are turned
+        into left-deep plans and re-ranked by the model's *own* CostEst
+        head, so a sequence-likelihood favourite with a catastrophic
+        predicted cost is demoted.  Defaults to on whenever the cost
+        task was trained (``w_cost > 0``); the MTMLF-JoinSel ablation
+        has no cost head signal and decodes by likelihood alone.
+        """
+        self.eval()
+        with nn.no_grad():
+            shared, _, encodings = self.forward_batch(db_name, [labeled])
+            memory = self.join_order_memory(shared[0], encodings[0], labeled.query.tables)
+        candidates = beam_search_join_order(
+            self.trans_jo,
+            memory,
+            labeled.query.adjacency_matrix(),
+            beam_width=beam_width or self.config.beam_width,
+            enforce_legality=enforce_legality,
+        )
+        if not candidates:
+            raise RuntimeError("beam search produced no candidates")
+        if rerank_with_cost is None:
+            rerank_with_cost = self.config.w_cost > 0.0
+        if rerank_with_cost and len(candidates) > 1 and labeled.query.num_tables > 2:
+            return self._rerank_by_cost(db_name, labeled, candidates)
+        return candidates[0].tables(labeled.query.tables)
+
+    def _rerank_by_cost(
+        self, db_name: str, labeled: LabeledQuery, candidates, margin: float = 0.7
+    ) -> list[str]:
+        """Demote the likelihood favourite only on a clear cost signal.
+
+        Each legal candidate is costed by the model's own CostEst head;
+        the beam favourite is kept unless some other candidate's
+        predicted log-cost undercuts it by more than ``margin`` (0.7 in
+        natural log ~ a 2x predicted speedup).  The margin makes the
+        rerank a disaster-avoidance mechanism rather than a full
+        re-ordering: CostEst is accurate enough to spot catastrophic
+        orders but noisier than the decoder on near-ties.
+        """
+        from ..optimizer.planner import plan_with_order
+        from ..optimizer.selectivity import HistogramEstimator
+
+        featurizer = self.featurizer_for(db_name)
+        estimator = HistogramEstimator(featurizer.db)
+        scored: list[tuple[list[str], float]] = []
+        for candidate in candidates:
+            order = candidate.tables(labeled.query.tables)
+            try:
+                plan = plan_with_order(labeled.query, order, estimator)
+            except ValueError:
+                continue
+            probe = LabeledQuery(
+                query=labeled.query,
+                plan=plan,
+                node_cardinalities=[0] * len(plan.nodes_preorder()),
+                node_costs=[0.0] * len(plan.nodes_preorder()),
+                total_time_ms=0.0,
+            )
+            with nn.no_grad():
+                _, log_costs, _, _, _ = self.predict_log_nodes(db_name, [probe])
+            self._cache.pop(id(probe), None)
+            scored.append((order, float(log_costs.data[0, 0])))
+        if not scored:
+            return candidates[0].tables(labeled.query.tables)
+        favourite_order, favourite_cost = scored[0]
+        challenger_order, challenger_cost = min(scored, key=lambda item: item[1])
+        if challenger_cost < favourite_cost - margin:
+            return challenger_order
+        return favourite_order
+
+    def beam_candidates(
+        self,
+        db_name: str,
+        labeled: LabeledQuery,
+        beam_width: int | None = None,
+        enforce_legality: bool = False,
+    ) -> list[BeamCandidate]:
+        """Raw beam candidates (used by the sequence-level loss)."""
+        with nn.no_grad():
+            shared, _, encodings = self.forward_batch(db_name, [labeled])
+            memory = self.join_order_memory(shared[0], encodings[0], labeled.query.tables)
+        return beam_search_join_order(
+            self.trans_jo,
+            memory,
+            labeled.query.adjacency_matrix(),
+            beam_width=beam_width or self.config.beam_width,
+            enforce_legality=enforce_legality,
+        )

@@ -1,0 +1,231 @@
+"""(L) Joint multi-task training of MTMLF-QO.
+
+Implements the paper's training procedure: all three QO tasks trained
+jointly under the Equation 1 criterion, gradients updating the (S) and
+(T) modules only (featurizers are pre-trained separately per Algorithm 1
+line 4 and frozen here).  Optionally refines Trans_JO with the
+sequence-level criterion of Equation 3 (Section 5).
+
+Single-task ablations (MTMLF-CardEst / -CostEst / -JoinSel of Tables
+1-2) are obtained by zeroing the other tasks' loss weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..workload.labeler import LabeledQuery
+from .config import ModelConfig
+from .losses import (
+    join_order_token_loss,
+    joint_loss,
+    node_qerror_loss,
+    sequence_level_loss,
+)
+from .model import MTMLFQO
+
+__all__ = ["TrainingExample", "JointTrainer", "TrainResult"]
+
+# A training example is (database name, labeled query).
+TrainingExample = tuple[str, LabeledQuery]
+
+_COST_FLOOR = 1e-6
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch loss history."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def order_positions(labeled: LabeledQuery) -> list[int]:
+    """Optimal join order as positions into ``query.tables``."""
+    if labeled.optimal_order is None:
+        raise ValueError("query has no optimal-order label")
+    index = {table: i for i, table in enumerate(labeled.query.tables)}
+    return [index[table] for table in labeled.optimal_order]
+
+
+def planner_order_positions(labeled: LabeledQuery) -> list[int] | None:
+    """The initial plan's join order as positions (weak JoinSel label).
+
+    The paper's Section 3.2 research note suggests two-phase training:
+    an existing DBMS generates *sub-optimal* join orders to bootstrap
+    the model before the expensive optimal orders refine it.  The weak
+    label is simply the initial plan's leaf order (left-deep plans).
+    """
+    if not labeled.plan.is_left_deep():
+        return None
+    index = {table: i for i, table in enumerate(labeled.query.tables)}
+    return [index[table] for table in labeled.plan.leaf_tables_in_order()]
+
+
+class JointTrainer:
+    """Trains (S)+(T) on labeled queries from one or many databases."""
+
+    def __init__(self, model: MTMLFQO, learning_rate: float | None = None):
+        self.model = model
+        self.config: ModelConfig = model.config
+        self.parameters = model.shared_task_parameters()
+        self.optimizer = nn.Adam(self.parameters, lr=learning_rate or self.config.learning_rate)
+        # Which join-order labels _batch_losses trains on: "optimal" uses
+        # the (expensive) exact orders; "planner" uses the initial plan's
+        # order as weak supervision (two-phase training, Section 3.2).
+        self.jo_label_source = "optimal"
+
+    # ------------------------------------------------------------------
+    def _batch_losses(self, db_name: str, batch: list[LabeledQuery]) -> nn.Tensor:
+        log_cards, log_costs, pad_mask, encodings, shared = self.model.predict_log_nodes(db_name, batch)
+        max_len = log_cards.shape[1]
+
+        card_targets = np.ones((len(batch), max_len), dtype=np.float64)
+        cost_targets = np.full((len(batch), max_len), _COST_FLOOR, dtype=np.float64)
+        for i, item in enumerate(batch):
+            card_targets[i, : item.num_nodes] = item.node_cardinalities
+            cost_targets[i, : item.num_nodes] = item.node_costs
+        valid = ~pad_mask
+
+        card_loss = None
+        cost_loss = None
+        if self.config.w_card:
+            card_loss = node_qerror_loss(log_cards, card_targets, mask=valid)
+        if self.config.w_cost:
+            cost_loss = node_qerror_loss(log_costs, cost_targets, mask=valid, floor=_COST_FLOOR)
+
+        jo_loss = None
+        if self.config.w_jo:
+            jo_terms = []
+            for i, item in enumerate(batch):
+                if item.query.num_tables < 2:
+                    continue
+                if self.jo_label_source == "planner":
+                    positions = planner_order_positions(item)
+                elif item.optimal_order is not None:
+                    positions = order_positions(item)
+                else:
+                    positions = None
+                if positions is None:
+                    continue
+                memory = self.model.join_order_memory(shared[i], encodings[i], item.query.tables)
+                logits = self.model.trans_jo(memory, positions)
+                jo_terms.append(join_order_token_loss(logits, positions))
+            if jo_terms:
+                jo_loss = jo_terms[0]
+                for term in jo_terms[1:]:
+                    jo_loss = jo_loss + term
+                jo_loss = jo_loss * (1.0 / len(jo_terms))
+
+        return joint_loss(
+            card_loss,
+            cost_loss,
+            jo_loss,
+            w_card=self.config.w_card,
+            w_cost=self.config.w_cost,
+            w_jo=self.config.w_jo,
+        )
+
+    def train(
+        self,
+        examples: list[TrainingExample],
+        epochs: int = 20,
+        batch_size: int = 16,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> TrainResult:
+        """Run joint training; examples may mix databases (MLA shuffles)."""
+        if not examples:
+            raise ValueError("no training examples")
+        rng = np.random.default_rng(seed)
+        result = TrainResult()
+        self.model.train()
+        for epoch in range(epochs):
+            order = rng.permutation(len(examples))
+            total, count = 0.0, 0
+            batch: list[LabeledQuery] = []
+            batch_db: str | None = None
+            for idx in order:
+                db_name, item = examples[idx]
+                if batch and (db_name != batch_db or len(batch) >= batch_size):
+                    total += self._step(batch_db, batch)
+                    count += 1
+                    batch = []
+                batch_db = db_name
+                batch.append(item)
+            if batch:
+                total += self._step(batch_db, batch)
+                count += 1
+            epoch_loss = total / max(count, 1)
+            result.epoch_losses.append(epoch_loss)
+            if verbose:
+                print(f"  epoch {epoch + 1}/{epochs}: loss {epoch_loss:.4f}")
+        self.model.eval()
+        return result
+
+    def _step(self, db_name: str, batch: list[LabeledQuery]) -> float:
+        self.optimizer.zero_grad()
+        loss = self._batch_losses(db_name, batch)
+        loss.backward()
+        nn.clip_grad_norm(self.parameters, self.config.grad_clip)
+        self.optimizer.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------
+    def refine_sequence_level(
+        self,
+        examples: list[TrainingExample],
+        epochs: int = 3,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> TrainResult:
+        """Section 5: refine Trans_JO with the Equation 3 criterion.
+
+        Beam candidates (legality *not* enforced, so illegal orders can
+        be penalized) are re-scored differentiably and the JOEU-weighted
+        sequence loss is applied.
+        """
+        eligible = [
+            (db, item)
+            for db, item in examples
+            if item.optimal_order is not None and item.query.num_tables >= 2
+        ]
+        if not eligible:
+            raise ValueError("no examples with optimal-order labels")
+        rng = np.random.default_rng(seed)
+        result = TrainResult()
+        self.model.train()
+        for epoch in range(epochs):
+            order = rng.permutation(len(eligible))
+            total = 0.0
+            for idx in order:
+                db_name, item = eligible[idx]
+                candidates = self.model.beam_candidates(
+                    db_name, item, enforce_legality=False
+                )
+                self.optimizer.zero_grad()
+                shared, _, encodings = self.model.forward_batch(db_name, [item])
+                memory = self.model.join_order_memory(shared[0], encodings[0], item.query.tables)
+                loss = sequence_level_loss(
+                    self.model.trans_jo,
+                    memory,
+                    order_positions(item),
+                    candidates,
+                    penalty=self.config.sequence_loss_lambda,
+                )
+                loss.backward()
+                nn.clip_grad_norm(self.parameters, self.config.grad_clip)
+                self.optimizer.step()
+                total += loss.item()
+            epoch_loss = total / len(eligible)
+            result.epoch_losses.append(epoch_loss)
+            if verbose:
+                print(f"  seq epoch {epoch + 1}/{epochs}: loss {epoch_loss:.4f}")
+        self.model.eval()
+        return result

@@ -1,0 +1,81 @@
+"""(T.iii) ``Trans_JO``: the join-order transformer decoder.
+
+Formulates JoinSel as seq2seq (Section 4.2): ``Trans_Share``'s outputs
+for the query's single tables, (S_1..S_m), act as the encoder memory;
+the decoder emits one table per timestamp.
+
+Output parameterization — pointer attention.  The paper's single-DB
+formulation outputs a multinoulli over the DB's n tables; a fixed-size
+output head would tie the decoder to one DB's table vocabulary and break
+the cross-DB transfer that MLA requires.  We therefore emit logits by
+dot-product attention of the decoder state against the table
+representations themselves (a pointer network): position i's logit is
+``h_t · W S_i``.  Over a single DB this is equivalent (positions map
+1:1 to tables); across DBs it is what "the task-specific module learns
+how to use the shared representation" demands.  Recorded as a
+documented design choice in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import ModelConfig
+
+__all__ = ["TransJO"]
+
+
+class TransJO(nn.Module):
+    """Transformer decoder with pointer output over query tables."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.config = config
+        rng = rng or np.random.default_rng(config.seed)
+        self.start_token = nn.Parameter(rng.normal(0.0, 0.1, size=(config.d_model,)))
+        self.decoder = nn.TransformerDecoder(
+            config.d_model,
+            config.num_heads,
+            config.decoder_layers,
+            ff_dim=config.ff_dim,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.pointer_proj = nn.Linear(config.d_model, config.d_model, bias=False, rng=rng)
+
+    # ------------------------------------------------------------------
+    def step_logits(self, memory: nn.Tensor, prefix_positions: list[int]) -> nn.Tensor:
+        """Logits over the m tables for the next timestamp.
+
+        ``memory`` is (1, m, d): the single-table representations.
+        ``prefix_positions`` are the positions already emitted; the
+        decoder input is [start, S_{p1}, ..., S_{pt}].
+        """
+        inputs = [self.start_token.reshape(1, 1, -1)]
+        for position in prefix_positions:
+            inputs.append(memory[:, position: position + 1, :])
+        x = nn.functional.concat(inputs, axis=1) if len(inputs) > 1 else inputs[0]
+        hidden = self.decoder(x, memory)          # (1, t+1, d)
+        last = hidden[:, -1, :]                   # (1, d)
+        keys = self.pointer_proj(memory)          # (1, m, d)
+        scale = 1.0 / np.sqrt(self.config.d_model)
+        logits = keys.matmul(last.reshape(-1, 1)).reshape(-1) * scale  # (m,)
+        return logits
+
+    def forward(self, memory: nn.Tensor, target_positions: list[int]) -> nn.Tensor:
+        """Teacher-forced logits for a whole order, shape (m, m).
+
+        Row t holds the logits for timestamp t given the *true* prefix
+        (teacher forcing, Section 4.2).
+        """
+        m = memory.shape[1]
+        inputs = [self.start_token.reshape(1, 1, -1)]
+        for position in target_positions[:-1]:
+            inputs.append(memory[:, position: position + 1, :])
+        x = nn.functional.concat(inputs, axis=1) if len(inputs) > 1 else inputs[0]
+        hidden = self.decoder(x, memory)          # (1, m, d) causal
+        keys = self.pointer_proj(memory)          # (1, m, d)
+        scale = 1.0 / np.sqrt(self.config.d_model)
+        logits = hidden.matmul(keys.swapaxes(-1, -2)) * scale  # (1, m, m)
+        return logits.reshape(len(target_positions), m)

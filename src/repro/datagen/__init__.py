@@ -1,0 +1,29 @@
+"""``repro.datagen`` — synthetic database generation.
+
+Implements the paper's Section 6.2 pipeline (S1 join schema, S2
+attribute columns with skew/correlation knobs, S3 correlated join
+keys) and the IMDB-like 21-table instance standing in for the JOB
+benchmark's dataset.
+"""
+
+from .columns import AttributeSpec, bootstrap_columns, generate_attribute_columns
+from .imdb import IMDB_TABLE_SPECS, imdb_like
+from .keys import fk_column_name, foreign_key_column, primary_key_column
+from .pipeline import generate_database, generate_databases
+from .schema_gen import SchemaPlan, TablePlan, generate_join_schema
+
+__all__ = [
+    "AttributeSpec",
+    "generate_attribute_columns",
+    "bootstrap_columns",
+    "generate_join_schema",
+    "SchemaPlan",
+    "TablePlan",
+    "primary_key_column",
+    "foreign_key_column",
+    "fk_column_name",
+    "generate_database",
+    "generate_databases",
+    "imdb_like",
+    "IMDB_TABLE_SPECS",
+]

@@ -1,0 +1,136 @@
+"""S2 of the paper's data-generation pipeline: attribute columns.
+
+Two generation modes, as in Section 6.2:
+
+- **artificial**: columns with controllable distribution skew (Zipf
+  exponent), inter-attribute correlation (latent-factor mixing) and
+  domain size — the approach of [36, 37];
+- **bootstrap**: resample rows/columns of an existing real-ish table so
+  the domain stays realistic while skew/correlation vary.
+
+String columns are generated from a skewed vocabulary so that LIKE
+predicates have interesting, non-uniform selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.column import Column
+from ..storage.table import Table
+
+__all__ = ["AttributeSpec", "generate_numeric_column", "generate_string_column", "generate_attribute_columns", "bootstrap_columns"]
+
+_SYLLABLES = [
+    "an", "ber", "cor", "dan", "el", "fin", "gor", "hal", "ister", "jun",
+    "kel", "lor", "mon", "nor", "ost", "per", "quin", "rost", "sol", "tor",
+    "und", "var", "win", "xen", "yor", "zan",
+]
+
+
+@dataclass
+class AttributeSpec:
+    """Knobs for one generated attribute column."""
+
+    name: str
+    kind: str = "int"            # "int", "float" or "string"
+    domain_size: int = 100       # distinct values (int/string)
+    skew: float = 1.0            # Zipf exponent; 0 = uniform
+    correlation: float = 0.0     # in [0, 1]: weight of the shared latent factor
+
+
+def _zipf_probabilities(domain_size: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    if skew <= 0:
+        weights = np.ones(domain_size)
+    else:
+        weights = ranks ** -skew
+    return weights / weights.sum()
+
+
+def _latent_mixed_codes(
+    num_rows: int,
+    domain_size: int,
+    skew: float,
+    correlation: float,
+    latent: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw value codes, partially driven by a shared latent factor.
+
+    ``latent`` is a (num_rows,) float array in [0, 1).  With correlation
+    c, a row's code is ``floor(latent * domain)`` with probability c and
+    an independent Zipf draw otherwise — giving tunable inter-column
+    correlation (the Section 6.2 knob).
+    """
+    probs = _zipf_probabilities(domain_size, skew)
+    independent = rng.choice(domain_size, size=num_rows, p=probs)
+    if correlation <= 0:
+        return independent
+    from_latent = np.minimum((latent * domain_size).astype(np.int64), domain_size - 1)
+    use_latent = rng.random(num_rows) < correlation
+    return np.where(use_latent, from_latent, independent)
+
+
+def _random_word(code: int) -> str:
+    """A deterministic pseudo-word for a value code."""
+    parts = []
+    value = code + 1
+    while value > 0:
+        parts.append(_SYLLABLES[value % len(_SYLLABLES)])
+        value //= len(_SYLLABLES)
+    return "".join(parts)
+
+
+def generate_numeric_column(
+    spec: AttributeSpec, num_rows: int, latent: np.ndarray, rng: np.random.Generator
+) -> Column:
+    """Generate one numeric column per its spec."""
+    codes = _latent_mixed_codes(num_rows, spec.domain_size, spec.skew, spec.correlation, latent, rng)
+    if spec.kind == "float":
+        jitter = rng.uniform(0, 1.0, num_rows)
+        return Column(spec.name, codes.astype(np.float64) + jitter)
+    return Column(spec.name, codes.astype(np.int64))
+
+
+def generate_string_column(
+    spec: AttributeSpec, num_rows: int, latent: np.ndarray, rng: np.random.Generator
+) -> Column:
+    """Generate a string column whose values are skewed pseudo-words."""
+    codes = _latent_mixed_codes(num_rows, spec.domain_size, spec.skew, spec.correlation, latent, rng)
+    vocabulary = np.asarray([_random_word(int(c)) for c in range(spec.domain_size)], dtype=object)
+    return Column(spec.name, vocabulary[codes])
+
+
+def generate_attribute_columns(
+    specs: list[AttributeSpec], num_rows: int, rng: np.random.Generator
+) -> tuple[list[Column], np.ndarray]:
+    """Generate all attribute columns of a table plus its latent factor.
+
+    Returns ``(columns, latent)``; the latent factor is reused by S3 so
+    join keys correlate with attributes (per the paper, citing [18]).
+    """
+    latent = rng.random(num_rows)
+    columns = []
+    for spec in specs:
+        if spec.kind == "string":
+            columns.append(generate_string_column(spec, num_rows, latent, rng))
+        else:
+            columns.append(generate_numeric_column(spec, num_rows, latent, rng))
+    return columns, latent
+
+
+def bootstrap_columns(
+    source: Table, num_rows: int, rng: np.random.Generator, column_subset: list[str] | None = None
+) -> list[Column]:
+    """S2's second mode: bootstrap-resample an existing table.
+
+    Rows are drawn with replacement with a random Dirichlet weighting,
+    which perturbs skew and correlation while preserving the domains.
+    """
+    names = column_subset or source.column_order
+    weights = rng.dirichlet(np.ones(source.num_rows) * 0.3)
+    picks = rng.choice(source.num_rows, size=num_rows, p=weights)
+    return [Column(name, source.column(name).values[picks], source.column(name).ctype) for name in names]

@@ -1,0 +1,52 @@
+"""S3 of the paper's data-generation pipeline: join keys.
+
+Each table gets a primary key column ``id`` (unique 1..r, stored
+0-based).  For every fact table it references, a table gets a foreign
+key column ``fk_<fact>`` whose domain equals that fact's PK domain and
+whose values *correlate with the attribute columns* — the paper makes
+this point explicitly (citing [18]: join keys correlate with
+attributes), and it is what defeats independence-assumption estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.column import Column
+
+__all__ = ["primary_key_column", "foreign_key_column", "fk_column_name"]
+
+
+def fk_column_name(target_table: str) -> str:
+    return f"fk_{target_table}"
+
+
+def primary_key_column(num_rows: int) -> Column:
+    """The PK column: unique values 0..num_rows-1."""
+    return Column("id", np.arange(num_rows, dtype=np.int64))
+
+
+def foreign_key_column(
+    target_table: str,
+    target_rows: int,
+    num_rows: int,
+    latent: np.ndarray,
+    rng: np.random.Generator,
+    correlation: float = 0.6,
+    skew: float = 0.8,
+) -> Column:
+    """An FK column referencing ``target_table``'s PK domain.
+
+    With probability ``correlation`` a row's FK is derived from the
+    table's latent attribute factor (so filters on attributes shift the
+    joint key distribution); otherwise it is a skewed independent draw
+    (popular targets get more references, Zipf ``skew``).
+    """
+    ranks = np.arange(1, target_rows + 1, dtype=np.float64)
+    probs = ranks ** -skew if skew > 0 else np.ones(target_rows)
+    probs /= probs.sum()
+    independent = rng.choice(target_rows, size=num_rows, p=probs)
+    from_latent = np.minimum((latent * target_rows).astype(np.int64), target_rows - 1)
+    use_latent = rng.random(num_rows) < correlation
+    values = np.where(use_latent, from_latent, independent)
+    return Column(fk_column_name(target_table), values.astype(np.int64))

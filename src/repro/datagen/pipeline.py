@@ -1,0 +1,119 @@
+"""The full Section 6.2 data-generation pipeline: S1 -> S2 -> S3.
+
+``generate_database`` produces one synthetic :class:`Database` with a
+valid join schema, skewed/correlated attribute columns and correlated
+join keys.  ``generate_databases`` produces the fleet of DBs used by
+the cross-DB transfer study (the paper generates 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.catalog import Database
+from ..storage.schema import JoinRelation
+from ..storage.table import Table
+from .columns import AttributeSpec, generate_attribute_columns
+from .keys import fk_column_name, foreign_key_column, primary_key_column
+from .schema_gen import SchemaPlan, generate_join_schema
+
+__all__ = ["generate_database", "generate_databases"]
+
+
+def _attribute_specs(plan, rng: np.random.Generator) -> list[AttributeSpec]:
+    """Random per-column knobs: type mix, domain size, skew, correlation."""
+    specs = []
+    for i in range(plan.num_attributes):
+        roll = rng.random()
+        if roll < 0.25:
+            kind = "string"
+            domain = int(rng.integers(10, 200))
+        elif roll < 0.6:
+            kind = "int"
+            domain = int(rng.integers(5, 500))
+        else:
+            kind = "float"
+            domain = int(rng.integers(20, 1000))
+        specs.append(
+            AttributeSpec(
+                name=f"attr{i}",
+                kind=kind,
+                domain_size=domain,
+                skew=float(rng.uniform(0.0, 2.0)),
+                correlation=float(rng.uniform(0.0, 0.8)),
+            )
+        )
+    return specs
+
+
+def generate_database(
+    seed: int,
+    name: str | None = None,
+    num_tables: int | None = None,
+    row_range: tuple[int, int] = (500, 5000),
+    attr_range: tuple[int, int] = (2, 8),
+    schema_plan: SchemaPlan | None = None,
+    fk_skew: float = 0.8,
+    fk_correlation: float = 0.6,
+) -> Database:
+    """Generate one synthetic database (Section 6.2, steps S1-S3).
+
+    ``fk_skew``/``fk_correlation`` control the foreign keys' Zipf
+    fan-out and their correlation with the attribute latent factor.
+    """
+    rng = np.random.default_rng(seed)
+    plan = schema_plan or generate_join_schema(
+        rng, num_tables=num_tables, row_range=row_range, attr_range=attr_range
+    )
+
+    row_counts = {t.name: t.num_rows for t in plan.tables}
+    tables: list[Table] = []
+    relations: list[JoinRelation] = []
+
+    for table_plan in plan.tables:
+        specs = _attribute_specs(table_plan, rng)
+        columns, latent = generate_attribute_columns(specs, table_plan.num_rows, rng)
+        columns.insert(0, primary_key_column(table_plan.num_rows))
+        for target in table_plan.fk_targets:
+            fk = foreign_key_column(
+                target_table=target,
+                target_rows=row_counts[target],
+                num_rows=table_plan.num_rows,
+                latent=latent,
+                rng=rng,
+                correlation=fk_correlation,
+                skew=fk_skew,
+            )
+            columns.append(fk)
+            relations.append(
+                JoinRelation(table_plan.name, fk_column_name(target), target, "id")
+            )
+        tables.append(Table(table_plan.name, columns, primary_key="id"))
+
+    db = Database(name or f"synthdb_{seed}", tables)
+    for relation in relations:
+        db.add_join(relation)
+    db.analyze()
+    return db
+
+
+def generate_databases(
+    num_databases: int,
+    base_seed: int = 0,
+    row_range: tuple[int, int] = (500, 5000),
+    attr_range: tuple[int, int] = (2, 8),
+    fk_skew: float = 0.8,
+    fk_correlation: float = 0.6,
+) -> list[Database]:
+    """Generate the cross-DB fleet (the paper generates 11 DBs)."""
+    return [
+        generate_database(
+            seed=base_seed + i,
+            name=f"synthdb_{base_seed + i}",
+            row_range=row_range,
+            attr_range=attr_range,
+            fk_skew=fk_skew,
+            fk_correlation=fk_correlation,
+        )
+        for i in range(num_databases)
+    ]

@@ -1,0 +1,106 @@
+"""S1 of the paper's data-generation pipeline: a valid join schema.
+
+Section 6.2, step S1: sample the number of tables n in [6, 11], pick
+2-3 fact tables, make the rest dimension tables; connect fact tables by
+a PK-FK relation; connect each dimension table to one or two fact
+tables (PK of the dimension = FK column in itself referencing the
+fact's PK domain — the paper words it as the dimension holding an FK
+per joinable fact table).  Dimension tables never join each other
+directly, but share transitive FK-FK joins through a common fact table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SchemaPlan", "TablePlan", "generate_join_schema"]
+
+
+@dataclass
+class TablePlan:
+    """Blueprint for one table before data is generated."""
+
+    name: str
+    is_fact: bool
+    num_rows: int
+    num_attributes: int
+    fk_targets: list[str] = field(default_factory=list)  # fact tables this table references
+
+
+@dataclass
+class SchemaPlan:
+    """Blueprint for a whole database (output of S1)."""
+
+    tables: list[TablePlan]
+
+    @property
+    def fact_tables(self) -> list[str]:
+        return [t.name for t in self.tables if t.is_fact]
+
+    @property
+    def dimension_tables(self) -> list[str]:
+        return [t.name for t in self.tables if not t.is_fact]
+
+    def table(self, name: str) -> TablePlan:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+
+def generate_join_schema(
+    rng: np.random.Generator,
+    num_tables: int | None = None,
+    min_tables: int = 6,
+    max_tables: int = 11,
+    row_range: tuple[int, int] = (500, 5000),
+    attr_range: tuple[int, int] = (2, 8),
+) -> SchemaPlan:
+    """Run S1: decide tables, fact/dimension split and FK targets.
+
+    Row and attribute ranges default to laptop scale; the paper's ranges
+    (rows 50K-10M, attributes 2-20) are reachable via the arguments.
+    """
+    if num_tables is None:
+        num_tables = int(rng.integers(min_tables, max_tables + 1))
+    if num_tables < 3:
+        raise ValueError("need at least 3 tables (>=2 fact + >=1 dimension)")
+
+    num_facts = int(rng.integers(2, min(3, num_tables - 1) + 1))
+    names = [f"t{i}" for i in range(1, num_tables + 1)]
+    fact_names = names[:num_facts]
+    dim_names = names[num_facts:]
+
+    tables: list[TablePlan] = []
+    for name in fact_names:
+        # Fact tables are the big ones.
+        rows = int(rng.integers(row_range[1] // 2, row_range[1] + 1))
+        tables.append(
+            TablePlan(
+                name=name,
+                is_fact=True,
+                num_rows=rows,
+                num_attributes=int(rng.integers(attr_range[0], attr_range[1] + 1)),
+            )
+        )
+    # Fact-to-fact chain: fact_i references fact_1's PK (the paper creates
+    # the first join relation between T1's PK and T2's FK).
+    for plan in tables[1:]:
+        plan.fk_targets.append(fact_names[0])
+
+    for name in dim_names:
+        rows = int(rng.integers(row_range[0], max(row_range[0] + 1, row_range[1] // 4)))
+        n_targets = int(rng.integers(1, min(2, num_facts) + 1))
+        targets = list(rng.choice(fact_names, size=n_targets, replace=False))
+        tables.append(
+            TablePlan(
+                name=name,
+                is_fact=False,
+                num_rows=rows,
+                num_attributes=int(rng.integers(attr_range[0], attr_range[1] + 1)),
+                fk_targets=targets,
+            )
+        )
+    return SchemaPlan(tables=tables)

@@ -1,0 +1,34 @@
+"""``repro.engine`` — vectorized execution engine and plan machinery.
+
+Plan trees (scan/join), physical operators over row-id intermediates,
+a PostgreSQL-style analytical cost model, and deterministic simulated
+execution timing used by the Table 2/3 experiments.
+"""
+
+from .cost_model import DEFAULT_COST_MODEL, CostModel, TimingAlignedCostModel
+from .executor import ExecutionLimitError, ExecutionResult, execute_plan
+from .operators import Intermediate, WorkReport, equi_join_positions, execute_join, execute_scan
+from .plan import JoinOp, PlanNode, ScanOp, join_node, left_deep_plan, scan_node
+from .timing import DEFAULT_TIMING, TimingModel
+
+__all__ = [
+    "PlanNode",
+    "ScanOp",
+    "JoinOp",
+    "scan_node",
+    "join_node",
+    "left_deep_plan",
+    "Intermediate",
+    "WorkReport",
+    "execute_scan",
+    "execute_join",
+    "equi_join_positions",
+    "execute_plan",
+    "ExecutionResult",
+    "ExecutionLimitError",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "TimingAlignedCostModel",
+    "TimingModel",
+    "DEFAULT_TIMING",
+]

@@ -1,0 +1,55 @@
+"""Paper-style table rendering for experiment results."""
+
+from __future__ import annotations
+
+from .experiments import Table1Row, Table2Row, Table3Row
+
+__all__ = ["format_table1", "format_table2", "format_table3"]
+
+
+def _fmt(value: float | None, width: int = 9) -> str:
+    if value is None:
+        return "\\".rjust(width)
+    if value >= 1000:
+        return f"{value:,.0f}".rjust(width)
+    return f"{value:.2f}".rjust(width)
+
+
+def format_table1(rows: list[Table1Row], title: str = "Table 1: Q-errors") -> str:
+    """Render Table 1 in the paper's layout."""
+    lines = [title, "-" * 78]
+    header = (
+        f"{'Method':<16}"
+        f"{'card med':>9}{'card max':>10}{'card mean':>10}"
+        f"{'cost med':>10}{'cost max':>10}{'cost mean':>10}"
+    )
+    lines.append(header)
+    for row in rows:
+        card = row.card.as_row() if row.card else (None, None, None)
+        cost = row.cost.as_row() if row.cost else (None, None, None)
+        lines.append(
+            f"{row.method:<16}"
+            f"{_fmt(card[0])}{_fmt(card[1], 10)}{_fmt(card[2], 10)}"
+            f"{_fmt(cost[0], 10)}{_fmt(cost[1], 10)}{_fmt(cost[2], 10)}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(rows: list[Table2Row], title: str = "Table 2: Execution time with different join orders") -> str:
+    lines = [title, "-" * 64]
+    lines.append(f"{'JoinOrder':<18}{'Total time (sim ms)':>22}{'Improvement':>14}")
+    for row in rows:
+        improvement = "\\" if row.improvement is None else f"{100 * row.improvement:.1f}%"
+        lines.append(f"{row.method:<18}{row.total_time_ms:>22,.1f}{improvement:>14}")
+        if row.optimal_fraction is not None:
+            lines.append(f"{'':<18}(optimal order on {100 * row.optimal_fraction:.0f}% of queries)")
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[Table3Row], title: str = "Table 3: Cross-DB transfer") -> str:
+    lines = [title, "-" * 64]
+    lines.append(f"{'JoinOrder':<20}{'Total time (sim ms)':>22}{'Improvement':>14}")
+    for row in rows:
+        improvement = "\\" if row.improvement is None else f"{100 * row.improvement:.1f}%"
+        lines.append(f"{row.method:<20}{row.total_time_ms:>22,.1f}{improvement:>14}")
+    return "\n".join(lines)

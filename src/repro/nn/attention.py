@@ -1,0 +1,96 @@
+"""Multi-head scaled dot-product attention.
+
+Supports optional boolean masks (True = position masked out), which the
+MTMLF-QO model uses both for padding in batched plan sequences and for
+the causal mask inside the ``Trans_JO`` decoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import masked_fill, softmax
+from .layers import Dropout, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "causal_mask"]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean (length, length) mask forbidding attention to the future."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention ``Attn(Q, K, V)`` over (batch, seq, dim) tensors.
+
+    Parameters
+    ----------
+    dim:
+        Model dimension; must be divisible by ``num_heads``.
+    num_heads:
+        Number of attention heads (the paper uses 4).
+    """
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose((0, 2, 1, 3)).reshape(batch, seq, heads * head_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        attn_mask: np.ndarray | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend ``query`` over ``key``/``value`` (self-attention if omitted).
+
+        ``attn_mask`` is (Lq, Lk) boolean; ``key_padding_mask`` is
+        (batch, Lk) boolean.  True entries are excluded from attention.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.swapaxes(-1, -2)) * scale  # (B, H, Lq, Lk)
+
+        mask = None
+        if attn_mask is not None:
+            mask = np.asarray(attn_mask, dtype=bool)[None, None, :, :]
+        if key_padding_mask is not None:
+            pad = np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+            mask = pad if mask is None else (mask | pad)
+        if mask is not None:
+            mask = np.broadcast_to(mask, scores.shape)
+            # Guard against fully-masked rows which would produce NaNs.
+            all_masked = mask.all(axis=-1, keepdims=True)
+            mask = mask & ~all_masked
+            scores = masked_fill(scores, mask, -1e9)
+
+        weights = softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        attended = weights.matmul(v)
+        return self.out_proj(self._merge_heads(attended))

@@ -1,0 +1,155 @@
+"""Functional operations on :class:`repro.nn.Tensor`.
+
+These free functions complement the methods on ``Tensor`` with
+operations that combine several tensors (``concat``, ``stack``,
+``where``) or that are numerically specialised (``softmax``,
+``log_softmax``, ``gelu``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "where",
+    "masked_fill",
+    "pad_sequences",
+    "one_hot",
+]
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(data, tuple(tensors), backward, requires)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+
+    def backward(grad):
+        slabs = np.split(grad, len(tensors), axis=axis)
+        for tensor, slab in zip(tensors, slabs):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(slab, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward, requires)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if x.requires_grad:
+            dot = (grad * out).sum(axis=axis, keepdims=True)
+            x._accumulate(out * (grad - dot))
+
+    return Tensor._make(out, (x,), backward, x.requires_grad)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - logsumexp
+    soft = np.exp(out)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward, x.requires_grad)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + t)
+
+    def backward(grad):
+        if x.requires_grad:
+            dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x.data ** 2)
+            x._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+
+    return Tensor._make(out, (x,), backward, x.requires_grad)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select: ``condition ? a : b`` (condition is constant)."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * condition)
+        if b.requires_grad:
+            b._accumulate(grad * ~condition)
+
+    return Tensor._make(data, (a, b), backward, a.requires_grad or b.requires_grad)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace entries where ``mask`` is True by ``value`` (no grad there)."""
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, value, x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * ~mask)
+
+    return Tensor._make(data, (x,), backward, x.requires_grad)
+
+
+def pad_sequences(arrays: list[np.ndarray], pad_value: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Pad a list of ``(length_i, dim)`` arrays to a dense batch.
+
+    Returns ``(batch, mask)`` where ``batch`` has shape
+    ``(n, max_len, dim)`` and ``mask`` is True at padded positions.
+    """
+    if not arrays:
+        raise ValueError("pad_sequences requires at least one sequence")
+    max_len = max(a.shape[0] for a in arrays)
+    dim = arrays[0].shape[1]
+    batch = np.full((len(arrays), max_len, dim), pad_value, dtype=np.float64)
+    mask = np.ones((len(arrays), max_len), dtype=bool)
+    for i, array in enumerate(arrays):
+        batch[i, : array.shape[0]] = array
+        mask[i, : array.shape[0]] = False
+    return batch, mask
+
+
+def one_hot(indices, depth: int) -> np.ndarray:
+    """One-hot encode integer ``indices`` into ``depth`` classes."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

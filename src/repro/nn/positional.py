@@ -1,0 +1,80 @@
+"""Positional encodings: sinusoidal sequence positions and tree positions.
+
+The paper serializes tree-structured query plans into sequences using
+"the transformers' tree positional embedding techniques" (Shiv & Quirk,
+NeurIPS 2019).  ``tree_positional_encoding`` implements that scheme: the
+position of a node is the sequence of left/right branch decisions on the
+path from the root, encoded as interleaved one-hot pairs and truncated or
+zero-padded to a fixed dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sinusoidal_encoding", "tree_path_encoding", "TreePosition"]
+
+
+def sinusoidal_encoding(length: int, dim: int) -> np.ndarray:
+    """Classic transformer sin/cos positional encoding of shape (length, dim)."""
+    if dim % 2 != 0:
+        raise ValueError("sinusoidal encoding dim must be even")
+    positions = np.arange(length)[:, None]
+    freqs = np.exp(-np.log(10000.0) * np.arange(0, dim, 2) / dim)[None, :]
+    enc = np.zeros((length, dim), dtype=np.float64)
+    enc[:, 0::2] = np.sin(positions * freqs)
+    enc[:, 1::2] = np.cos(positions * freqs)
+    return enc
+
+
+class TreePosition:
+    """Path from the root of a binary tree: a tuple of 0 (left) / 1 (right)."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: tuple[int, ...] = ()):
+        if any(step not in (0, 1) for step in path):
+            raise ValueError("tree path steps must be 0 (left) or 1 (right)")
+        self.path = tuple(path)
+
+    def left(self) -> "TreePosition":
+        return TreePosition(self.path + (0,))
+
+    def right(self) -> "TreePosition":
+        return TreePosition(self.path + (1,))
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TreePosition) and self.path == other.path
+
+    def __hash__(self) -> int:
+        return hash(self.path)
+
+    def __repr__(self) -> str:
+        return f"TreePosition({self.path})"
+
+
+def tree_path_encoding(position: TreePosition, dim: int, max_depth: int | None = None) -> np.ndarray:
+    """Encode a tree position as a fixed-width vector (Shiv & Quirk style).
+
+    Each branch decision on the root-to-node path contributes a 2-wide
+    one-hot block ``[1, 0]`` (left) or ``[0, 1]`` (right), most recent
+    decision first; the result is zero-padded / truncated to ``dim``.
+    The root is the all-zeros vector.
+    """
+    if dim % 2 != 0:
+        raise ValueError("tree positional encoding dim must be even")
+    max_depth = max_depth if max_depth is not None else dim // 2
+    out = np.zeros(dim, dtype=np.float64)
+    # Most recent decisions carry the most signal: reverse the path.
+    for slot, step in enumerate(reversed(position.path[:max_depth])):
+        offset = 2 * slot
+        if offset + 1 >= dim:
+            break
+        out[offset + step] = 1.0
+    # Decaying scale keeps deep-path encodings bounded.
+    depth_scale = 1.0 / np.sqrt(1.0 + position.depth)
+    return out * depth_scale

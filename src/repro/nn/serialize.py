@@ -1,0 +1,33 @@
+"""Model checkpointing: save/load ``Module`` state dicts as ``.npz``.
+
+MLA (Algorithm 1) ships the pre-trained (S)+(T) modules from the cloud
+provider to users; this module provides that transport format.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str) -> None:
+    """Persist a module's parameters to ``path`` (.npz appended if missing)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,110 @@
+"""Transformer encoder and decoder stacks.
+
+These are the building blocks for the paper's three transformer
+components: the per-table encoders ``Enc_i`` (F.ii), the shared
+representation encoder ``Trans_Share`` (S), and the join-order decoder
+``Trans_JO`` (T.iii).  The paper uses 3 blocks and 4 heads for each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention, causal_mask
+from .layers import Dropout, LayerNorm, Linear, Module, ModuleList
+from .tensor import Tensor
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder", "TransformerDecoderLayer", "TransformerDecoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block (self-attention + FFN)."""
+
+    def __init__(self, dim: int, num_heads: int, ff_dim: int | None = None, dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        ff_dim = ff_dim or 4 * dim
+        self.attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ff1 = Linear(dim, ff_dim, rng=rng)
+        self.ff2 = Linear(ff_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        normed = self.norm1(x)
+        x = x + self.dropout(self.attn(normed, key_padding_mask=key_padding_mask))
+        normed = self.norm2(x)
+        x = x + self.dropout(self.ff2(self.ff1(normed).relu()))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with a final LayerNorm."""
+
+    def __init__(self, dim: int, num_heads: int, num_layers: int, ff_dim: int | None = None, dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers = ModuleList(
+            [TransformerEncoderLayer(dim, num_heads, ff_dim=ff_dim, dropout=dropout, rng=rng) for _ in range(num_layers)]
+        )
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, key_padding_mask=key_padding_mask)
+        return self.final_norm(x)
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm decoder block: causal self-attention, cross-attention, FFN."""
+
+    def __init__(self, dim: int, num_heads: int, ff_dim: int | None = None, dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        ff_dim = ff_dim or 4 * dim
+        self.self_attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.cross_attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.norm3 = LayerNorm(dim)
+        self.ff1 = Linear(dim, ff_dim, rng=rng)
+        self.ff2 = Linear(ff_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        memory_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        length = x.shape[1]
+        normed = self.norm1(x)
+        x = x + self.dropout(self.self_attn(normed, attn_mask=causal_mask(length)))
+        normed = self.norm2(x)
+        x = x + self.dropout(self.cross_attn(normed, memory, memory, key_padding_mask=memory_padding_mask))
+        normed = self.norm3(x)
+        x = x + self.dropout(self.ff2(self.ff1(normed).relu()))
+        return x
+
+
+class TransformerDecoder(Module):
+    """Stack of decoder layers with a final LayerNorm."""
+
+    def __init__(self, dim: int, num_heads: int, num_layers: int, ff_dim: int | None = None, dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers = ModuleList(
+            [TransformerDecoderLayer(dim, num_heads, ff_dim=ff_dim, dropout=dropout, rng=rng) for _ in range(num_layers)]
+        )
+        self.final_norm = LayerNorm(dim)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        memory_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, memory, memory_padding_mask=memory_padding_mask)
+        return self.final_norm(x)

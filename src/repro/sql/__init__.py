@@ -1,0 +1,28 @@
+"""``repro.sql`` — query model (Q = T_Q, j_Q, f_Q) and SQL parsing."""
+
+from .parser import SQLSyntaxError, parse_query
+from .predicates import (
+    BetweenPredicate,
+    Comparison,
+    CompareOp,
+    Conjunction,
+    InPredicate,
+    LikePredicate,
+    Predicate,
+    like_to_regex,
+)
+from .query import Query
+
+__all__ = [
+    "Query",
+    "parse_query",
+    "SQLSyntaxError",
+    "Predicate",
+    "Comparison",
+    "CompareOp",
+    "BetweenPredicate",
+    "InPredicate",
+    "LikePredicate",
+    "Conjunction",
+    "like_to_regex",
+]

@@ -1,0 +1,69 @@
+"""The database catalog: tables + join schema + statistics.
+
+``Database`` is the central handle passed around the whole system — the
+execution engine scans its tables, the classical optimizer reads its
+statistics, and MTMLF-QO's featurization module reads its schema to size
+the one-hot table/column vocabularies.
+"""
+
+from __future__ import annotations
+
+from .schema import JoinRelation, JoinSchema
+from .statistics import TableStatistics, analyze_table
+from .table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of tables with a join schema and statistics."""
+
+    def __init__(self, name: str, tables: list[Table], join_schema: JoinSchema | None = None):
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        for table in tables:
+            if table.name in self.tables:
+                raise ValueError(f"duplicate table name {table.name!r}")
+            self.tables[table.name] = table
+        self.join_schema = join_schema or JoinSchema()
+        for table in tables:
+            self.join_schema.add_table(table.name)
+        self._stats: dict[str, TableStatistics] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"database {self.name!r} has no table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names})"
+
+    def add_join(self, relation: JoinRelation) -> None:
+        for side, column in ((relation.left, relation.left_column), (relation.right, relation.right_column)):
+            if column not in self.table(side):
+                raise KeyError(f"join column {side}.{column} does not exist")
+        self.join_schema.add(relation)
+
+    # ------------------------------------------------------------------
+    def analyze(self, num_buckets: int = 32, num_mcv: int = 10) -> None:
+        """Collect statistics for every table (the ANALYZE operation)."""
+        for name, table in self.tables.items():
+            self._stats[name] = analyze_table(table, num_buckets=num_buckets, num_mcv=num_mcv)
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """Statistics for a table; computed lazily on first access."""
+        if table_name not in self._stats:
+            self._stats[table_name] = analyze_table(self.table(table_name))
+        return self._stats[table_name]
+
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self.tables.values())

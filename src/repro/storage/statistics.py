@@ -1,0 +1,147 @@
+"""Table statistics: equi-depth histograms, most-common values, distincts.
+
+These statistics power the classical "PostgreSQL" baseline estimator in
+:mod:`repro.optimizer.selectivity` (PostgreSQL's ANALYZE collects the
+same trio: ``histogram_bounds``, ``most_common_vals``, ``n_distinct``).
+They are also the cheap per-table summaries that the paper's workflow
+allows users to compute locally ("similar to an ANALYZE operation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .column import Column, ColumnType
+from .table import Table
+
+__all__ = ["EquiDepthHistogram", "ColumnStatistics", "TableStatistics", "analyze_table"]
+
+
+@dataclass
+class EquiDepthHistogram:
+    """Equi-depth (equal-frequency) histogram over a numeric column."""
+
+    bounds: np.ndarray  # length num_buckets + 1, non-decreasing
+    total_count: int
+
+    @classmethod
+    def build(cls, values: np.ndarray, num_buckets: int = 32) -> "EquiDepthHistogram":
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        if values.size == 0:
+            return cls(bounds=np.array([0.0, 0.0]), total_count=0)
+        quantiles = np.linspace(0.0, 1.0, num_buckets + 1)
+        bounds = np.quantile(values, quantiles)
+        return cls(bounds=bounds, total_count=int(values.size))
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def min_value(self) -> float:
+        return float(self.bounds[0])
+
+    @property
+    def max_value(self) -> float:
+        return float(self.bounds[-1])
+
+    def selectivity_le(self, value: float) -> float:
+        """Estimated fraction of rows with column <= value."""
+        if self.total_count == 0:
+            return 0.0
+        if value < self.bounds[0]:
+            return 0.0
+        if value >= self.bounds[-1]:
+            return 1.0
+        # Find the bucket containing `value` and interpolate within it.
+        idx = int(np.searchsorted(self.bounds, value, side="right")) - 1
+        idx = min(max(idx, 0), self.num_buckets - 1)
+        lo, hi = self.bounds[idx], self.bounds[idx + 1]
+        within = 0.5 if hi <= lo else (value - lo) / (hi - lo)
+        return (idx + within) / self.num_buckets
+
+    def selectivity_range(self, low: float | None, high: float | None) -> float:
+        """Estimated fraction of rows with low <= column <= high."""
+        lo_frac = 0.0 if low is None else self.selectivity_le(low)
+        hi_frac = 1.0 if high is None else self.selectivity_le(high)
+        return float(np.clip(hi_frac - lo_frac, 0.0, 1.0))
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for a single column."""
+
+    name: str
+    ctype: ColumnType
+    num_rows: int
+    n_distinct: int
+    histogram: EquiDepthHistogram | None = None
+    mcv_values: list = field(default_factory=list)
+    mcv_fractions: np.ndarray = field(default_factory=lambda: np.array([]))
+    null_fraction: float = 0.0
+
+    def mcv_selectivity(self, value) -> float | None:
+        """Fraction for ``value`` if it is a most-common value, else None."""
+        for v, frac in zip(self.mcv_values, self.mcv_fractions):
+            if v == value:
+                return float(frac)
+        return None
+
+    def equality_selectivity(self, value) -> float:
+        """PostgreSQL-style eq selectivity: MCV hit or uniform residual."""
+        hit = self.mcv_selectivity(value)
+        if hit is not None:
+            return hit
+        mcv_mass = float(self.mcv_fractions.sum()) if self.mcv_fractions.size else 0.0
+        residual_distinct = max(self.n_distinct - len(self.mcv_values), 1)
+        return max((1.0 - mcv_mass) / residual_distinct, 0.0)
+
+
+def analyze_column(column: Column, num_buckets: int = 32, num_mcv: int = 10) -> ColumnStatistics:
+    """Collect statistics for one column (ANALYZE equivalent)."""
+    n = len(column)
+    if column.is_numeric:
+        values = column.numeric_values()
+        hist = EquiDepthHistogram.build(values, num_buckets=num_buckets)
+        uniques, counts = np.unique(values, return_counts=True)
+    else:
+        hist = None
+        uniques, counts = np.unique(column.values.astype(str), return_counts=True)
+    order = np.argsort(counts)[::-1][:num_mcv]
+    mcv_values = [uniques[i] for i in order]
+    mcv_fractions = counts[order] / max(n, 1)
+    return ColumnStatistics(
+        name=column.name,
+        ctype=column.ctype,
+        num_rows=n,
+        n_distinct=len(uniques),
+        histogram=hist,
+        mcv_values=mcv_values,
+        mcv_fractions=mcv_fractions,
+    )
+
+
+@dataclass
+class TableStatistics:
+    """All column statistics of a table, plus its row count."""
+
+    table_name: str
+    num_rows: int
+    columns: dict[str, ColumnStatistics]
+
+    def column(self, name: str) -> ColumnStatistics:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"no statistics for column {name!r} of {self.table_name!r}") from None
+
+
+def analyze_table(table: Table, num_buckets: int = 32, num_mcv: int = 10) -> TableStatistics:
+    """Collect statistics for every column of ``table``."""
+    stats = {
+        name: analyze_column(table.column(name), num_buckets=num_buckets, num_mcv=num_mcv)
+        for name in table.column_order
+    }
+    return TableStatistics(table_name=table.name, num_rows=table.num_rows, columns=stats)

@@ -1,0 +1,92 @@
+"""Tables: ordered collections of equal-length columns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .column import Column, ColumnType
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An in-memory columnar table.
+
+    Parameters
+    ----------
+    name:
+        Table name (unique within a database).
+    columns:
+        List of :class:`Column`; all must have the same length.
+    primary_key:
+        Optional name of the primary-key column.
+    """
+
+    def __init__(self, name: str, columns: list[Column], primary_key: str | None = None):
+        if not columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"table {name!r} has ragged columns: lengths {sorted(lengths)}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns = {c.name: c for c in columns}
+        self.column_order = names
+        self.primary_key = primary_key
+        if primary_key is not None and primary_key not in self.columns:
+            raise KeyError(f"primary key {primary_key!r} not a column of {name!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_order})"
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self.columns
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def numeric_columns(self) -> list[str]:
+        return [n for n in self.column_order if self.columns[n].is_numeric]
+
+    def string_columns(self) -> list[str]:
+        return [n for n in self.column_order if self.columns[n].ctype is ColumnType.STRING]
+
+    # ------------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return a new table with rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_rows,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.num_rows},)")
+        cols = [self.columns[n].filter(mask) for n in self.column_order]
+        return Table(self.name, cols, primary_key=self.primary_key)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return a new table with rows gathered at ``indices``."""
+        cols = [self.columns[n].take(indices) for n in self.column_order]
+        return Table(self.name, cols, primary_key=self.primary_key)
+
+    def head(self, n: int = 5) -> "Table":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict, primary_key: str | None = None) -> "Table":
+        """Build a table from ``{column_name: values}``."""
+        columns = [Column(col_name, values) for col_name, values in data.items()]
+        return cls(name, columns, primary_key=primary_key)

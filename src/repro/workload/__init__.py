@@ -1,0 +1,15 @@
+"""``repro.workload`` — JOB-like query generation and ground-truth labeling."""
+
+from .dataset import QueryDataset, split_dataset
+from .generator import WorkloadConfig, WorkloadGenerator, generate_single_table_queries
+from .labeler import LabeledQuery, QueryLabeler
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "generate_single_table_queries",
+    "LabeledQuery",
+    "QueryLabeler",
+    "QueryDataset",
+    "split_dataset",
+]

@@ -1,0 +1,75 @@
+"""Dataset containers and train/validation/test splitting.
+
+The paper uses 90/10 train/validation splits of generated queries with
+the JOB queries as the test set; for JoinSel it uses 85/10/5.  These
+helpers implement the deterministic splitting and simple batching used
+by the trainers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .labeler import LabeledQuery
+
+__all__ = ["QueryDataset", "split_dataset"]
+
+
+@dataclass
+class QueryDataset:
+    """An ordered collection of labeled queries."""
+
+    items: list[LabeledQuery]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return QueryDataset(self.items[index])
+        return self.items[index]
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def with_optimal_order(self) -> "QueryDataset":
+        """Subset having a JoinSel label."""
+        return QueryDataset([q for q in self.items if q.optimal_order is not None])
+
+    def batches(self, batch_size: int, rng: np.random.Generator | None = None):
+        """Yield shuffled batches of items."""
+        order = np.arange(len(self.items))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            yield [self.items[i] for i in order[start:start + batch_size]]
+
+    def shuffled(self, rng: np.random.Generator) -> "QueryDataset":
+        order = rng.permutation(len(self.items))
+        return QueryDataset([self.items[i] for i in order])
+
+
+def split_dataset(
+    dataset: QueryDataset | list[LabeledQuery],
+    fractions: tuple[float, ...] = (0.9, 0.1),
+    seed: int = 0,
+) -> tuple[QueryDataset, ...]:
+    """Split into len(fractions) parts (fractions must sum to ~1)."""
+    items = dataset.items if isinstance(dataset, QueryDataset) else list(dataset)
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(items))
+    shuffled = [items[i] for i in order]
+    out = []
+    start = 0
+    for i, fraction in enumerate(fractions):
+        if i == len(fractions) - 1:
+            out.append(QueryDataset(shuffled[start:]))
+        else:
+            count = int(round(fraction * len(items)))
+            out.append(QueryDataset(shuffled[start:start + count]))
+            start += count
+    return tuple(out)

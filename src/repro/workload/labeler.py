@@ -1,0 +1,132 @@
+"""Query labeling: true cardinalities, true costs, optimal join orders.
+
+The paper's training data is (E(P), Card, Cost, P_t): for every query it
+derives the initial plan, executes it in PostgreSQL to obtain the true
+cardinality and cost of *every sub-plan node*, and (for queries joining
+at most 8 tables) derives the optimal join order with ECQO.
+
+``QueryLabeler`` reproduces that: the initial plan comes from the
+classical planner, execution in :mod:`repro.engine` yields per-node true
+cardinalities and simulated per-node latencies (the cost labels), and
+:func:`repro.optimizer.optimal_join_order` supplies the JoinSel label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.executor import ExecutionLimitError, execute_plan
+from ..engine.plan import PlanNode
+from ..optimizer.planner import PostgresStylePlanner
+from ..optimizer.selectivity import TrueCardinalityOracle
+from ..optimizer.optimal import optimal_join_order
+from ..sql.query import Query
+from ..storage.catalog import Database
+
+__all__ = ["LabeledQuery", "QueryLabeler"]
+
+
+@dataclass
+class LabeledQuery:
+    """A query with its initial plan and ground-truth labels.
+
+    ``node_cardinalities``/``node_costs`` follow the plan's preorder
+    node ordering (root first); costs are cumulative per sub-plan (the
+    simulated latency of executing the subtree), matching the paper's
+    "cardinality and cost of the sub-plan rooted at each node".
+    """
+
+    query: Query
+    plan: PlanNode
+    node_cardinalities: list[int]
+    node_costs: list[float]
+    total_time_ms: float
+    optimal_order: list[str] | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cardinality(self) -> int:
+        return self.node_cardinalities[0]
+
+    @property
+    def cost(self) -> float:
+        return self.node_costs[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_cardinalities)
+
+
+def _subtree_costs(plan: PlanNode, node_times: list[float]) -> list[float]:
+    """Cumulative per-subtree latency, preorder-aligned with node_times."""
+    order = plan.nodes_preorder()
+    time_of = {id(node): t for node, t in zip(order, node_times)}
+
+    memo: dict[int, float] = {}
+
+    def total(node: PlanNode) -> float:
+        if id(node) not in memo:
+            memo[id(node)] = time_of[id(node)] + sum(total(c) for c in node.children())
+        return memo[id(node)]
+
+    return [total(node) for node in order]
+
+
+class QueryLabeler:
+    """Labels queries against a database."""
+
+    def __init__(
+        self,
+        db: Database,
+        planner: PostgresStylePlanner | None = None,
+        max_optimal_tables: int = 8,
+        max_intermediate_rows: int | None = 5_000_000,
+    ):
+        self.db = db
+        self.planner = planner or PostgresStylePlanner(db)
+        self.max_optimal_tables = max_optimal_tables
+        self.max_intermediate_rows = max_intermediate_rows
+
+    def label(self, query: Query, with_optimal_order: bool = False) -> LabeledQuery | None:
+        """Label one query; returns None when execution exceeds limits.
+
+        The initial plan P is the classical planner's choice (the paper
+        provides "Q's initial plan" from the existing DBMS).
+        """
+        try:
+            planned = self.planner.plan(query)
+            result = execute_plan(
+                planned.plan, self.db, max_intermediate_rows=self.max_intermediate_rows
+            )
+        except (ExecutionLimitError, ValueError):
+            return None
+
+        optimal = None
+        if with_optimal_order and query.num_tables <= self.max_optimal_tables:
+            try:
+                oracle = TrueCardinalityOracle(
+                    self.db, max_intermediate_rows=self.max_intermediate_rows
+                )
+                optimal = optimal_join_order(query, self.db, oracle=oracle)
+            except (ExecutionLimitError, ValueError):
+                optimal = None
+
+        return LabeledQuery(
+            query=query,
+            plan=planned.plan,
+            node_cardinalities=result.node_cardinalities,
+            node_costs=_subtree_costs(planned.plan, result.node_times),
+            total_time_ms=result.simulated_ms,
+            optimal_order=optimal,
+        )
+
+    def label_many(
+        self, queries: list[Query], with_optimal_order: bool = False
+    ) -> list[LabeledQuery]:
+        """Label a workload, silently dropping over-limit queries."""
+        labeled = []
+        for query in queries:
+            item = self.label(query, with_optimal_order=with_optimal_order)
+            if item is not None:
+                labeled.append(item)
+        return labeled

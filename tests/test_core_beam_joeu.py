@@ -1,0 +1,171 @@
+"""Tests for JOEU and the legality-aware beam search (Sections 4.3, 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+from repro.core import (
+    BeamCandidate,
+    ModelConfig,
+    TransJO,
+    beam_search_join_order,
+    is_legal_order,
+    joeu,
+    shared_prefix_length,
+)
+
+
+class TestJOEU:
+    def test_identical_orders(self):
+        assert joeu(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_no_shared_prefix(self):
+        assert joeu(["b", "a"], ["a", "b"]) == 0.0
+
+    def test_partial_prefix(self):
+        assert joeu(["a", "b", "x", "y"], ["a", "b", "c", "d"]) == pytest.approx(0.5)
+
+    def test_mismatch_middle_ignores_suffix(self):
+        # A matching suffix after a mismatch must not count.
+        assert joeu(["a", "x", "c"], ["a", "b", "c"]) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert joeu([], []) == 1.0
+
+    def test_different_lengths(self):
+        assert joeu(["a"], ["a", "b"]) == pytest.approx(0.5)
+
+    def test_prefix_length(self):
+        assert shared_prefix_length([1, 2, 3], [1, 2, 4]) == 2
+
+    @given(st.lists(st.integers(0, 5), max_size=8), st.lists(st.integers(0, 5), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_joeu_in_unit_interval(self, u, v):
+        value = joeu(u, v)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_joeu_reflexive(self, u):
+        assert joeu(u, u) == 1.0
+
+    @given(st.lists(st.integers(0, 9), min_size=2, max_size=8, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_joeu_monotone_in_prefix(self, u):
+        """Breaking the order earlier can only lower JOEU."""
+        u_star = list(u)
+        scores = []
+        for break_at in range(len(u)):
+            candidate = list(u_star)
+            candidate[break_at] = 999  # value outside the domain
+            scores.append(joeu(candidate, u_star))
+        assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:]))
+
+
+def chain_adjacency(m: int) -> np.ndarray:
+    adj = np.zeros((m, m), dtype=bool)
+    for i in range(m - 1):
+        adj[i, i + 1] = adj[i + 1, i] = True
+    return adj
+
+
+def star_adjacency(m: int) -> np.ndarray:
+    adj = np.zeros((m, m), dtype=bool)
+    for i in range(1, m):
+        adj[0, i] = adj[i, 0] = True
+    return adj
+
+
+class TestLegality:
+    def test_chain_legal(self):
+        adj = chain_adjacency(4)
+        assert is_legal_order([0, 1, 2, 3], adj)
+        assert is_legal_order([2, 1, 0, 3], adj)  # 3 is adjacent to 2 in the prefix
+        assert is_legal_order([1, 0, 2, 3], adj)
+
+    def test_chain_illegal_jump(self):
+        adj = chain_adjacency(4)
+        assert not is_legal_order([0, 2, 1, 3], adj)  # 2 not adjacent to 0
+
+    def test_star_orders(self):
+        adj = star_adjacency(4)
+        assert is_legal_order([0, 3, 1, 2], adj)
+        assert not is_legal_order([1, 2, 0, 3], adj)  # 2 not adjacent to 1
+
+    def test_empty_order_illegal(self):
+        assert not is_legal_order([], chain_adjacency(2))
+
+
+@pytest.fixture(scope="module")
+def trans_jo():
+    config = ModelConfig(d_model=16, num_heads=2, decoder_layers=1)
+    return TransJO(config, np.random.default_rng(0))
+
+
+def random_memory(m: int, d: int = 16, seed: int = 0) -> nn.Tensor:
+    return nn.Tensor(np.random.default_rng(seed).normal(size=(1, m, d)))
+
+
+class TestBeamSearch:
+    def test_candidates_complete_and_unique(self, trans_jo):
+        memory = random_memory(4)
+        candidates = beam_search_join_order(trans_jo, memory, chain_adjacency(4), beam_width=2)
+        assert candidates
+        for candidate in candidates:
+            assert sorted(candidate.positions) == [0, 1, 2, 3]
+        keys = [tuple(c.positions) for c in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_legality_enforced(self, trans_jo):
+        memory = random_memory(5, seed=3)
+        adj = chain_adjacency(5)
+        candidates = beam_search_join_order(trans_jo, memory, adj, beam_width=3)
+        for candidate in candidates:
+            assert candidate.legal
+            assert is_legal_order(candidate.positions, adj)
+
+    def test_unconstrained_mode_flags_illegal(self, trans_jo):
+        memory = random_memory(4, seed=5)
+        adj = chain_adjacency(4)
+        candidates = beam_search_join_order(
+            trans_jo, memory, adj, beam_width=4, enforce_legality=False, max_candidates=32
+        )
+        assert any(not c.legal for c in candidates) or all(
+            is_legal_order(c.positions, adj) for c in candidates
+        )
+        for candidate in candidates:
+            assert candidate.legal == is_legal_order(candidate.positions, adj)
+
+    def test_sorted_by_log_prob(self, trans_jo):
+        memory = random_memory(4, seed=7)
+        candidates = beam_search_join_order(trans_jo, memory, star_adjacency(4), beam_width=3)
+        probs = [c.log_prob for c in candidates]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_single_table(self, trans_jo):
+        memory = random_memory(1)
+        candidates = beam_search_join_order(trans_jo, memory, np.zeros((1, 1), dtype=bool))
+        assert candidates[0].positions == [0]
+        assert candidates[0].legal
+
+    def test_log_probs_are_valid(self, trans_jo):
+        memory = random_memory(3, seed=11)
+        candidates = beam_search_join_order(trans_jo, memory, star_adjacency(3), beam_width=2)
+        for candidate in candidates:
+            assert candidate.log_prob <= 1e-9
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6])
+    def test_connected_graph_always_decodable(self, trans_jo, m):
+        """Legality must never dead-end on a connected join graph."""
+        memory = random_memory(m, seed=m)
+        candidates = beam_search_join_order(trans_jo, memory, chain_adjacency(m), beam_width=2)
+        assert candidates
+        assert all(len(c.positions) == m for c in candidates)
+
+    def test_tables_mapping(self, trans_jo):
+        memory = random_memory(3)
+        candidates = beam_search_join_order(trans_jo, memory, star_adjacency(3))
+        names = candidates[0].tables(["x", "y", "z"])
+        assert sorted(names) == ["x", "y", "z"]

@@ -1,0 +1,185 @@
+"""Tests for the tree codec (Section 4.1, Figures 3-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinTree,
+    decoding_embeddings,
+    join_tree_from_order,
+    join_tree_from_plan,
+    serialize_plan,
+    tree_from_embeddings,
+)
+from repro.engine import left_deep_plan
+from repro.sql import Query
+from repro.storage import JoinRelation
+
+
+def left_deep_4():
+    """The paper's Figure 3(a): j(j(j(T1,T2),T3),T4)."""
+    return join_tree_from_order(["T1", "T2", "T3", "T4"])
+
+
+def bushy_4():
+    """The paper's Figure 3(b): j(j(T1,T2), j(T3,T4))."""
+    return JoinTree(
+        left=JoinTree(left=JoinTree(table="T1"), right=JoinTree(table="T2")),
+        right=JoinTree(left=JoinTree(table="T3"), right=JoinTree(table="T4")),
+    )
+
+
+class TestJoinTree:
+    def test_leaves_order(self):
+        assert left_deep_4().leaves() == ["T1", "T2", "T3", "T4"]
+
+    def test_depths(self):
+        assert left_deep_4().depth() == 3
+        assert bushy_4().depth() == 2
+
+    def test_left_deep_detection(self):
+        assert left_deep_4().is_left_deep()
+        assert not bushy_4().is_left_deep()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            JoinTree()
+        with pytest.raises(ValueError):
+            JoinTree(table="T1", left=JoinTree(table="T2"), right=JoinTree(table="T3"))
+
+    def test_equality(self):
+        assert left_deep_4() == join_tree_from_order(["T1", "T2", "T3", "T4"])
+        assert left_deep_4() != bushy_4()
+
+    def test_from_plan(self):
+        query = Query(
+            tables=["a", "b"],
+            joins=[JoinRelation("a", "x", "b", "y")],
+        )
+        plan = left_deep_plan(query, ["a", "b"])
+        tree = join_tree_from_plan(plan)
+        assert tree.leaves() == ["a", "b"]
+
+
+class TestPaperExamples:
+    """Figure 4's exact decoding embeddings."""
+
+    def test_left_deep_embeddings(self):
+        emb = decoding_embeddings(left_deep_4())
+        np.testing.assert_array_equal(emb["T1"], [1, 0, 0, 0, 0, 0, 0, 0])
+        np.testing.assert_array_equal(emb["T2"], [0, 1, 0, 0, 0, 0, 0, 0])
+        np.testing.assert_array_equal(emb["T3"], [0, 0, 1, 1, 0, 0, 0, 0])
+        np.testing.assert_array_equal(emb["T4"], [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_bushy_embeddings(self):
+        emb = decoding_embeddings(bushy_4())
+        np.testing.assert_array_equal(emb["T1"], [1, 0, 0, 0, 0, 0, 0, 0])
+        np.testing.assert_array_equal(emb["T2"], [0, 1, 0, 0, 0, 0, 0, 0])
+        np.testing.assert_array_equal(emb["T3"], [0, 0, 1, 0, 0, 0, 0, 0])
+        np.testing.assert_array_equal(emb["T4"], [0, 0, 0, 1, 0, 0, 0, 0])
+
+    def test_left_deep_roundtrip(self):
+        assert tree_from_embeddings(decoding_embeddings(left_deep_4())) == left_deep_4()
+
+    def test_bushy_roundtrip(self):
+        assert tree_from_embeddings(decoding_embeddings(bushy_4())) == bushy_4()
+
+
+class TestCodecEdgeCases:
+    def test_single_leaf(self):
+        tree = JoinTree(table="only")
+        emb = decoding_embeddings(tree)
+        np.testing.assert_array_equal(emb["only"], [1])
+        assert tree_from_embeddings(emb) == tree
+
+    def test_two_leaves(self):
+        tree = join_tree_from_order(["A", "B"])
+        emb = decoding_embeddings(tree)
+        np.testing.assert_array_equal(emb["A"], [1, 0])
+        np.testing.assert_array_equal(emb["B"], [0, 1])
+
+    def test_width_override(self):
+        emb = decoding_embeddings(join_tree_from_order(["A", "B"]), width=8)
+        np.testing.assert_array_equal(emb["A"], [1, 0, 0, 0, 0, 0, 0, 0])
+        assert tree_from_embeddings(emb) == join_tree_from_order(["A", "B"])
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            decoding_embeddings(left_deep_4(), width=4)
+
+    def test_width_not_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            decoding_embeddings(left_deep_4(), width=12)
+
+    def test_conflicting_embeddings_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_embeddings({"A": np.array([1.0, 1.0]), "B": np.array([0.0, 1.0])})
+
+    def test_unclaimed_interior_slot_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_embeddings({"A": np.array([1.0, 0.0, 0.0, 1.0]), "B": np.array([0.0, 1.0, 0.0, 0.0])})
+
+
+@st.composite
+def random_join_tree(draw, max_leaves=6):
+    """Random binary tree over distinct table names."""
+    num_leaves = draw(st.integers(min_value=1, max_value=max_leaves))
+    names = [f"T{i}" for i in range(num_leaves)]
+
+    def build(leaf_names):
+        if len(leaf_names) == 1:
+            return JoinTree(table=leaf_names[0])
+        split = draw(st.integers(min_value=1, max_value=len(leaf_names) - 1))
+        return JoinTree(left=build(leaf_names[:split]), right=build(leaf_names[split:]))
+
+    return build(names)
+
+
+class TestCodecProperties:
+    @given(random_join_tree())
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_any_tree(self, tree):
+        assert tree_from_embeddings(decoding_embeddings(tree)) == tree
+
+    @given(random_join_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_embeddings_partition_natural_width(self, tree):
+        """Claimed slots partition [0, 2^depth) with no overlap."""
+        emb = decoding_embeddings(tree)
+        total = sum(v.sum() for v in emb.values())
+        natural = 2 ** tree.depth()
+        assert total == natural
+        stacked = np.stack(list(emb.values()))
+        assert (stacked.sum(axis=0) <= 1.0).all()
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=7, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_left_deep_order_roundtrip(self, ids):
+        order = [f"T{i}" for i in ids]
+        tree = join_tree_from_order(order)
+        recovered = tree_from_embeddings(decoding_embeddings(tree))
+        assert recovered.leaves() == order
+
+
+class TestSerializePlan:
+    def _plan(self):
+        query = Query(
+            tables=["a", "b", "c"],
+            joins=[JoinRelation("a", "x", "b", "y"), JoinRelation("b", "z", "c", "w")],
+        )
+        return left_deep_plan(query, ["a", "b", "c"])
+
+    def test_preorder_positions(self):
+        nodes, positions = serialize_plan(self._plan())
+        assert len(nodes) == 5
+        assert positions[0].path == ()          # root
+        assert positions[1].path == (0,)        # left child (join a-b)
+        assert positions[2].path == (0, 0)      # scan a
+        assert positions[3].path == (0, 1)      # scan b
+        assert positions[4].path == (1,)        # scan c
+
+    def test_positions_unique(self):
+        _, positions = serialize_plan(self._plan())
+        assert len({p.path for p in positions}) == len(positions)

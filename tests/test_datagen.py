@@ -1,0 +1,211 @@
+"""Tests for the Section 6.2 data-generation pipeline and IMDB-like DB."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    AttributeSpec,
+    SchemaPlan,
+    bootstrap_columns,
+    fk_column_name,
+    foreign_key_column,
+    generate_attribute_columns,
+    generate_database,
+    generate_databases,
+    generate_join_schema,
+    imdb_like,
+    primary_key_column,
+)
+from repro.storage import ColumnType, Table
+
+
+class TestSchemaGen:
+    def test_table_count_in_range(self):
+        for seed in range(5):
+            plan = generate_join_schema(np.random.default_rng(seed))
+            assert 6 <= len(plan.tables) <= 11
+
+    def test_fact_dimension_split(self):
+        plan = generate_join_schema(np.random.default_rng(0))
+        assert 2 <= len(plan.fact_tables) <= 3
+        assert len(plan.fact_tables) + len(plan.dimension_tables) == len(plan.tables)
+
+    def test_every_dimension_references_one_or_two_facts(self):
+        plan = generate_join_schema(np.random.default_rng(1))
+        facts = set(plan.fact_tables)
+        for name in plan.dimension_tables:
+            targets = plan.table(name).fk_targets
+            assert 1 <= len(targets) <= 2
+            assert set(targets) <= facts
+
+    def test_fact_chain(self):
+        plan = generate_join_schema(np.random.default_rng(2))
+        first = plan.fact_tables[0]
+        for other in plan.fact_tables[1:]:
+            assert first in plan.table(other).fk_targets
+
+    def test_explicit_table_count(self):
+        plan = generate_join_schema(np.random.default_rng(0), num_tables=7)
+        assert len(plan.tables) == 7
+
+    def test_too_few_tables_rejected(self):
+        with pytest.raises(ValueError):
+            generate_join_schema(np.random.default_rng(0), num_tables=2)
+
+
+class TestColumns:
+    def test_numeric_skew(self):
+        rng = np.random.default_rng(0)
+        spec = AttributeSpec("a", "int", domain_size=50, skew=1.8)
+        cols, _ = generate_attribute_columns([spec], 5000, rng)
+        values = cols[0].values
+        # Zipf: the most common value dominates.
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() / 5000 > 0.15
+
+    def test_uniform_when_no_skew(self):
+        rng = np.random.default_rng(0)
+        spec = AttributeSpec("a", "int", domain_size=10, skew=0.0)
+        cols, _ = generate_attribute_columns([spec], 10000, rng)
+        _, counts = np.unique(cols[0].values, return_counts=True)
+        assert counts.max() / 10000 < 0.2
+
+    def test_correlation_knob(self):
+        """Two fully-latent columns must be strongly correlated."""
+        rng = np.random.default_rng(0)
+        specs = [
+            AttributeSpec("x", "int", 100, skew=0.0, correlation=1.0),
+            AttributeSpec("y", "int", 100, skew=0.0, correlation=1.0),
+        ]
+        cols, _ = generate_attribute_columns(specs, 3000, rng)
+        r = np.corrcoef(cols[0].values, cols[1].values)[0, 1]
+        assert r > 0.95
+
+    def test_independent_when_uncorrelated(self):
+        rng = np.random.default_rng(0)
+        specs = [
+            AttributeSpec("x", "int", 100, skew=0.0, correlation=0.0),
+            AttributeSpec("y", "int", 100, skew=0.0, correlation=0.0),
+        ]
+        cols, _ = generate_attribute_columns(specs, 3000, rng)
+        r = np.corrcoef(cols[0].values, cols[1].values)[0, 1]
+        assert abs(r) < 0.1
+
+    def test_string_columns(self):
+        rng = np.random.default_rng(0)
+        spec = AttributeSpec("s", "string", domain_size=20, skew=1.0)
+        cols, _ = generate_attribute_columns([spec], 500, rng)
+        assert cols[0].ctype is ColumnType.STRING
+        assert cols[0].n_distinct() <= 20
+
+    def test_float_columns_have_jitter(self):
+        rng = np.random.default_rng(0)
+        spec = AttributeSpec("f", "float", domain_size=5, skew=0.0)
+        cols, _ = generate_attribute_columns([spec], 100, rng)
+        assert cols[0].ctype is ColumnType.FLOAT
+        assert cols[0].n_distinct() > 5
+
+    def test_bootstrap_preserves_domain(self):
+        source = Table.from_dict("src", {"a": [1, 2, 3], "s": ["x", "y", "z"]})
+        cols = bootstrap_columns(source, 50, np.random.default_rng(0))
+        assert set(np.unique(cols[0].values)) <= {1, 2, 3}
+        assert set(np.unique(cols[1].values.astype(str))) <= {"x", "y", "z"}
+
+
+class TestKeys:
+    def test_primary_key_unique(self):
+        pk = primary_key_column(100)
+        assert pk.n_distinct() == 100
+
+    def test_fk_domain(self):
+        rng = np.random.default_rng(0)
+        latent = rng.random(500)
+        fk = foreign_key_column("fact", 50, 500, latent, rng)
+        assert fk.name == fk_column_name("fact")
+        assert fk.values.min() >= 0 and fk.values.max() < 50
+
+    def test_fk_correlates_with_latent(self):
+        rng = np.random.default_rng(0)
+        latent = rng.random(3000)
+        fk = foreign_key_column("fact", 100, 3000, latent, rng, correlation=0.9)
+        r = np.corrcoef(latent, fk.values)[0, 1]
+        assert r > 0.5
+
+    def test_fk_uncorrelated_when_disabled(self):
+        rng = np.random.default_rng(0)
+        latent = rng.random(3000)
+        fk = foreign_key_column("fact", 100, 3000, latent, rng, correlation=0.0, skew=0.0)
+        r = np.corrcoef(latent, fk.values)[0, 1]
+        assert abs(r) < 0.1
+
+
+class TestPipeline:
+    def test_database_generates_and_validates(self):
+        db = generate_database(seed=0, row_range=(50, 200), attr_range=(2, 4))
+        assert 6 <= len(db.table_names) <= 11
+        # every FK value must exist in the target PK domain
+        for relation in db.join_schema.relations:
+            fk_values = db.table(relation.left).column(relation.left_column).values
+            target_rows = db.table(relation.right).num_rows
+            assert fk_values.min() >= 0 and fk_values.max() < target_rows
+
+    def test_join_graph_connected(self):
+        db = generate_database(seed=1, row_range=(50, 200))
+        assert db.join_schema.is_connected(db.table_names)
+
+    def test_determinism(self):
+        a = generate_database(seed=5, row_range=(50, 150))
+        b = generate_database(seed=5, row_range=(50, 150))
+        assert a.table_names == b.table_names
+        for name in a.table_names:
+            np.testing.assert_array_equal(
+                a.table(name).column("id").values, b.table(name).column("id").values
+            )
+
+    def test_different_seeds_differ(self):
+        a = generate_database(seed=0, row_range=(50, 150))
+        b = generate_database(seed=99, row_range=(50, 150))
+        different = a.table_names != b.table_names or any(
+            a.table(n).num_rows != b.table(n).num_rows
+            for n in a.table_names
+            if n in b.table_names
+        )
+        assert different or a.total_rows() != b.total_rows()
+
+    def test_generate_fleet(self):
+        dbs = generate_databases(3, base_seed=10, row_range=(50, 120))
+        assert len(dbs) == 3
+        assert len({db.name for db in dbs}) == 3
+
+
+class TestIMDBLike:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return imdb_like(seed=0, scale=0.05)
+
+    def test_twenty_one_tables(self, db):
+        assert len(db.table_names) == 21
+
+    def test_title_is_hub(self, db):
+        neighbors = db.join_schema.neighbors("title")
+        assert "movie_info" in neighbors
+        assert "cast_info" in neighbors
+        assert "movie_keyword" in neighbors
+
+    def test_join_graph_connected(self, db):
+        assert db.join_schema.is_connected(db.table_names)
+
+    def test_fks_in_domain(self, db):
+        for relation in db.join_schema.relations:
+            fk = db.table(relation.left).column(relation.left_column).values
+            assert fk.max() < db.table(relation.right).num_rows
+
+    def test_has_string_columns_for_like(self, db):
+        assert "title" in db.table("title").string_columns()
+        assert "info" in db.table("movie_info").string_columns()
+
+    def test_skewed_distribution(self, db):
+        """The IMDB stand-in must be skewed (JOB's hazard)."""
+        values = db.table("movie_info").column("movie_id").values
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() > 3 * counts.mean()

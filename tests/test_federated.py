@@ -1,0 +1,85 @@
+"""Tests for federated MLA (the paper's Section 7 research opportunity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FederatedClient,
+    FederatedConfig,
+    FederatedTrainer,
+    ModelConfig,
+)
+from repro.datagen import generate_databases
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
+
+TINY = ModelConfig(d_model=16, num_heads=2, encoder_layers=1, shared_layers=1, decoder_layers=1)
+FED = FederatedConfig(rounds=2, local_epochs=1, encoder_queries_per_table=3, encoder_epochs=1)
+
+
+@pytest.fixture(scope="module")
+def clients():
+    dbs = generate_databases(3, base_seed=70, row_range=(60, 200), attr_range=(2, 3))
+    out = []
+    for i, db in enumerate(dbs):
+        generator = WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=3, seed=i))
+        workload = QueryLabeler(db).label_many(generator.generate(10), with_optimal_order=True)
+        out.append(FederatedClient(db=db, workload=workload))
+    return out
+
+
+class TestFederatedTraining:
+    def test_rounds_run_and_losses_finite(self, clients):
+        trainer = FederatedTrainer(TINY, FED)
+        losses = trainer.train(clients[:2])
+        assert len(losses) == FED.rounds
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_server_weights_change(self, clients):
+        trainer = FederatedTrainer(TINY, FED)
+        before = {k: v.copy() for k, v in trainer.server_model.state_dict().items()}
+        trainer.train(clients[:2])
+        after = trainer.server_model.state_dict()
+        changed = any(not np.array_equal(before[k], after[k]) for k in before)
+        assert changed
+
+    def test_featurizers_stay_local(self, clients):
+        """Only (S)/(T) travel: featurizer parameters are never averaged."""
+        trainer = FederatedTrainer(TINY, FED)
+        trainer.train(clients[:2])
+        feat_a = clients[0].featurizer
+        feat_b = clients[1].featurizer
+        names_a = {n for n, _ in feat_a.named_parameters()}
+        server_names = {n for n, _ in trainer.server_model.named_parameters()}
+        assert not any(name in server_names for name in names_a)
+        # Different clients keep genuinely different featurizers.
+        assert feat_a is not feat_b
+
+    def test_aggregate_is_weighted_mean(self):
+        trainer = FederatedTrainer(TINY, FED)
+        base = trainer.server_model.state_dict()
+        state_a = {k: np.zeros_like(v) for k, v in base.items()}
+        state_b = {k: np.ones_like(v) for k, v in base.items()}
+        trainer._aggregate([state_a, state_b], weights=[1.0, 3.0])
+        merged = trainer.server_model.state_dict()
+        for value in merged.values():
+            np.testing.assert_allclose(value, 0.75)
+
+    def test_transfer_to_new_db(self, clients):
+        trainer = FederatedTrainer(TINY, FED)
+        trainer.train(clients[:2])
+        new_client = clients[2]
+        trainer.transfer(new_client.db)
+        item = new_client.workload[0]
+        order = trainer.server_model.predict_join_order(new_client.db.name, item)
+        assert sorted(order) == sorted(item.query.tables)
+
+    def test_empty_clients_rejected(self):
+        trainer = FederatedTrainer(TINY, FED)
+        with pytest.raises(ValueError):
+            trainer.train([])
+
+    def test_empty_workload_rejected(self, clients):
+        trainer = FederatedTrainer(TINY, FED)
+        broken = FederatedClient(db=clients[0].db, workload=[])
+        with pytest.raises(ValueError):
+            trainer.train([broken])

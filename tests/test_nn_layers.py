@@ -1,0 +1,365 @@
+"""Tests for nn layers, attention, transformers, LSTMs, optimizers, losses."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import functional as F
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self):
+        layer = nn.Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(RNG.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_linear_batched_input(self):
+        layer = nn.Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(RNG.normal(size=(2, 7, 5))))
+        assert out.shape == (2, 7, 3)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 4, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_mlp_learns_xor(self):
+        """A tiny MLP must be able to fit XOR — end-to-end training check."""
+        rng = np.random.default_rng(3)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        mlp = nn.MLP([2, 16, 1], rng=rng)
+        opt = nn.Adam(mlp.parameters(), lr=3e-2)
+        for _ in range(400):
+            opt.zero_grad()
+            pred = mlp(nn.Tensor(x)).reshape(4)
+            loss = nn.mse_loss(pred, y)
+            loss.backward()
+            opt.step()
+        final = mlp(nn.Tensor(x)).reshape(4).data
+        assert np.abs(final - y).max() < 0.1
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = nn.LayerNorm(8)
+        out = ln(nn.Tensor(RNG.normal(loc=5.0, scale=3.0, size=(4, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradients_flow(self):
+        ln = nn.LayerNorm(6)
+        x = nn.Tensor(RNG.normal(size=(3, 6)), requires_grad=True)
+        (ln(x) * ln(x)).sum().backward()
+        assert x.grad is not None
+        assert ln.gamma.grad is not None
+        assert ln.beta.grad is not None
+
+
+class TestEmbeddingDropout:
+    def test_embedding_lookup(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([1, 3, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_embedding_out_of_range(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+    def test_embedding_grad_accumulates(self):
+        emb = nn.Embedding(6, 3)
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2 * np.ones(3))
+
+    def test_dropout_eval_is_identity(self):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = nn.Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        x = nn.Tensor(np.ones((100, 100)), requires_grad=True)
+        out = drop(x)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0 * np.ones_like(kept))
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestModuleMechanics:
+    def test_named_parameters_nested(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.LayerNorm(4), nn.Linear(4, 2))
+        names = [n for n, _ in model.named_parameters()]
+        assert "steps.items.0.weight" in names
+        assert "steps.items.1.gamma" in names
+
+    def test_state_dict_roundtrip(self):
+        a = nn.MLP([3, 5, 2], rng=np.random.default_rng(1))
+        b = nn.MLP([3, 5, 2], rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = nn.Tensor(RNG.normal(size=(4, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = nn.Linear(3, 3)
+        b = nn.Linear(4, 4)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_save_load_module(self, tmp_path):
+        a = nn.MLP([3, 4, 2], rng=np.random.default_rng(1))
+        path = str(tmp_path / "ckpt")
+        nn.save_module(a, path)
+        b = nn.MLP([3, 4, 2], rng=np.random.default_rng(9))
+        nn.load_module(b, path)
+        x = nn.Tensor(RNG.normal(size=(2, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_train_eval_recursive(self):
+        model = nn.Sequential(nn.Dropout(0.3), nn.Linear(2, 2))
+        model.eval()
+        assert not model.steps[0].training
+        model.train()
+        assert model.steps[0].training
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = nn.MultiHeadAttention(16, 4, rng=np.random.default_rng(0))
+        x = nn.Tensor(RNG.normal(size=(2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_dim_head_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_causal_mask_blocks_future(self):
+        mask = nn.causal_mask(4)
+        assert mask[0, 1] and mask[2, 3]
+        assert not mask[1, 0] and not mask[3, 3]
+
+    def test_padding_mask_ignores_padded_keys(self):
+        """Changing a padded position must not change unpadded outputs."""
+        attn = nn.MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        attn.eval()
+        x1 = RNG.normal(size=(1, 4, 8))
+        x2 = x1.copy()
+        x2[0, 3] = RNG.normal(size=8)  # perturb the padded slot
+        pad = np.array([[False, False, False, True]])
+        out1 = attn(nn.Tensor(x1), key_padding_mask=pad).data
+        out2 = attn(nn.Tensor(x2), key_padding_mask=pad).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+
+    def test_fully_masked_row_no_nan(self):
+        attn = nn.MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        pad = np.array([[True, True, True]])
+        out = attn(nn.Tensor(RNG.normal(size=(1, 3, 8))), key_padding_mask=pad)
+        assert np.isfinite(out.data).all()
+
+    def test_gradients_flow_through_attention(self):
+        attn = nn.MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = nn.Tensor(RNG.normal(size=(1, 3, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestTransformer:
+    def test_encoder_shapes(self):
+        enc = nn.TransformerEncoder(16, 4, 2, rng=np.random.default_rng(0))
+        x = nn.Tensor(RNG.normal(size=(3, 6, 16)))
+        assert enc(x).shape == (3, 6, 16)
+
+    def test_decoder_shapes(self):
+        dec = nn.TransformerDecoder(16, 4, 2, rng=np.random.default_rng(0))
+        tgt = nn.Tensor(RNG.normal(size=(2, 4, 16)))
+        mem = nn.Tensor(RNG.normal(size=(2, 7, 16)))
+        assert dec(tgt, mem).shape == (2, 4, 16)
+
+    def test_decoder_causality(self):
+        """Perturbing future target positions must not change earlier outputs."""
+        dec = nn.TransformerDecoder(8, 2, 2, rng=np.random.default_rng(0))
+        dec.eval()
+        mem = nn.Tensor(RNG.normal(size=(1, 5, 8)))
+        tgt1 = RNG.normal(size=(1, 4, 8))
+        tgt2 = tgt1.copy()
+        tgt2[0, 3] += 10.0
+        out1 = dec(nn.Tensor(tgt1), mem).data
+        out2 = dec(nn.Tensor(tgt2), mem).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-8)
+
+    def test_encoder_trains(self):
+        """Encoder + readout can fit a simple aggregate function."""
+        rng = np.random.default_rng(5)
+        enc = nn.TransformerEncoder(8, 2, 1, rng=rng)
+        head = nn.Linear(8, 1, rng=rng)
+        params = enc.parameters() + head.parameters()
+        opt = nn.Adam(params, lr=1e-2)
+        x = rng.normal(size=(16, 3, 8))
+        y = x.sum(axis=(1, 2))
+        losses = []
+        for _ in range(60):
+            opt.zero_grad()
+            hidden = enc(nn.Tensor(x))
+            pred = head(hidden.mean(axis=1)).reshape(16)
+            loss = nn.mse_loss(pred, y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.25
+
+
+class TestLSTM:
+    def test_lstm_shapes(self):
+        lstm = nn.LSTM(4, 6, rng=np.random.default_rng(0))
+        out = lstm(nn.Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_tree_lstm_leaf_and_internal(self):
+        tree = nn.ChildSumTreeLSTM(4, 6, rng=np.random.default_rng(0))
+        features = {0: RNG.normal(size=(1, 4)), 1: RNG.normal(size=(1, 4)), 2: RNG.normal(size=(1, 4))}
+        children = {2: [0, 1]}
+        h = tree.encode_tree(features, children, root=2)
+        assert h.shape == (1, 6)
+
+    def test_tree_lstm_depends_on_children(self):
+        tree = nn.ChildSumTreeLSTM(3, 5, rng=np.random.default_rng(0))
+        base = {0: np.ones((1, 3)), 1: np.ones((1, 3)), 2: np.ones((1, 3))}
+        other = {0: np.ones((1, 3)) * 2.0, 1: np.ones((1, 3)), 2: np.ones((1, 3))}
+        h1 = tree.encode_tree(base, {2: [0, 1]}, root=2)
+        h2 = tree.encode_tree(other, {2: [0, 1]}, root=2)
+        assert np.abs(h1.data - h2.data).max() > 1e-6
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, make_opt) -> float:
+        w = nn.Parameter(np.array([5.0, -3.0]))
+        opt = make_opt([w])
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (w * w).sum()
+            loss.backward()
+            opt.step()
+        return float(np.abs(w.data).max())
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(lambda p: nn.SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(lambda p: nn.SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(lambda p: nn.Adam(p, lr=0.2)) < 1e-2
+
+    def test_clip_grad_norm(self):
+        w = nn.Parameter(np.zeros(3))
+        w.grad = np.array([3.0, 4.0, 0.0])
+        norm = nn.clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(w.grad), 1.0)
+
+    def test_clip_noop_below_threshold(self):
+        w = nn.Parameter(np.zeros(2))
+        w.grad = np.array([0.3, 0.4])
+        nn.clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, [0.3, 0.4])
+
+
+class TestLosses:
+    def test_q_error_always_geq_one(self):
+        q = nn.q_error(np.array([10.0, 2.0, 5.0]), np.array([5.0, 20.0, 5.0]))
+        assert (q >= 1.0).all()
+        np.testing.assert_allclose(q, [2.0, 10.0, 1.0])
+
+    def test_q_error_floor_clamps_small_values(self):
+        # Cardinalities below the floor are treated as the floor (standard
+        # CardEst convention: zero-result queries count as cardinality 1).
+        q = nn.q_error(np.array([0.1]), np.array([1.0]))
+        np.testing.assert_allclose(q, [1.0])
+
+    def test_q_error_symmetry(self):
+        a, b = np.array([20.0]), np.array([4.0])
+        np.testing.assert_allclose(nn.q_error(a, b), nn.q_error(b, a))
+
+    def test_q_error_loss_zero_at_truth(self):
+        true = np.array([10.0, 100.0])
+        loss = nn.q_error_loss(nn.Tensor(np.log(true), requires_grad=True), true)
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_q_error_loss_grad(self):
+        log_pred = nn.Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        nn.q_error_loss(log_pred, np.array([np.e ** 4, np.e ** 1])).backward()
+        np.testing.assert_allclose(log_pred.grad, [-0.5, 0.5])
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = nn.Tensor(np.array([[100.0, 0.0, 0.0]]), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = nn.Tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([1, 2]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_cross_entropy_mask(self):
+        logits = nn.Tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([1, 2]), mask=np.array([1.0, 0.0]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_cross_entropy_empty_mask_raises(self):
+        logits = nn.Tensor(np.zeros((2, 4)), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.cross_entropy(logits, np.array([1, 2]), mask=np.zeros(2))
+
+    def test_kl_divergence_zero_when_matched(self):
+        target = np.array([[0.5, 0.5, 0.0]])
+        logits = nn.Tensor(np.log(np.array([[0.5, 0.5, 1e-12]])), requires_grad=True)
+        loss = nn.kl_divergence(logits, target)
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_divergence_positive(self):
+        target = np.array([[1.0, 0.0]])
+        logits = nn.Tensor(np.zeros((1, 2)), requires_grad=True)
+        assert nn.kl_divergence(logits, target).item() > 0.1
+
+
+class TestPositional:
+    def test_sinusoidal_shape_and_bounds(self):
+        enc = nn.sinusoidal_encoding(10, 8)
+        assert enc.shape == (10, 8)
+        assert np.abs(enc).max() <= 1.0
+
+    def test_sinusoidal_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            nn.sinusoidal_encoding(4, 7)
+
+    def test_tree_position_navigation(self):
+        root = nn.TreePosition()
+        assert root.left().path == (0,)
+        assert root.left().right().path == (0, 1)
+        assert root.left().right().depth == 2
+
+    def test_tree_position_invalid_step(self):
+        with pytest.raises(ValueError):
+            nn.TreePosition((2,))
+
+    def test_tree_path_encoding_distinguishes_siblings(self):
+        left = nn.tree_path_encoding(nn.TreePosition((0,)), 8)
+        right = nn.tree_path_encoding(nn.TreePosition((1,)), 8)
+        assert np.abs(left - right).max() > 0
+
+    def test_tree_path_encoding_root_is_zero(self):
+        np.testing.assert_allclose(nn.tree_path_encoding(nn.TreePosition(), 8), np.zeros(8))

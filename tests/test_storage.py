@@ -1,0 +1,259 @@
+"""Tests for columns, tables, join schemas, statistics and the catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    EquiDepthHistogram,
+    JoinRelation,
+    JoinSchema,
+    Table,
+    analyze_column,
+    analyze_table,
+)
+
+
+class TestColumn:
+    def test_int_inference(self):
+        col = Column("a", [1, 2, 3])
+        assert col.ctype is ColumnType.INT
+        assert col.is_numeric
+
+    def test_float_inference(self):
+        assert Column("a", [1.5, 2.5]).ctype is ColumnType.FLOAT
+
+    def test_string_inference_and_dictionary(self):
+        col = Column("s", ["x", "y", "x"])
+        assert col.ctype is ColumnType.STRING
+        assert sorted(col.dictionary) == ["x", "y"]
+        assert col.n_distinct() == 2
+        np.testing.assert_array_equal(col.dictionary[col.codes], ["x", "y", "x"])
+
+    def test_numeric_values_on_string_raises(self):
+        with pytest.raises(TypeError):
+            Column("s", ["a"]).numeric_values()
+
+    def test_take_and_filter(self):
+        col = Column("a", [10, 20, 30, 40])
+        np.testing.assert_array_equal(col.take(np.array([2, 0])).values, [30, 10])
+        np.testing.assert_array_equal(col.filter(np.array([True, False, True, False])).values, [10, 30])
+
+
+class TestTable:
+    def _table(self):
+        return Table.from_dict("t", {"id": [1, 2, 3], "v": [1.0, 2.0, 3.0], "s": ["a", "b", "a"]}, primary_key="id")
+
+    def test_basic_properties(self):
+        t = self._table()
+        assert t.num_rows == 3
+        assert t.num_columns == 3
+        assert "id" in t
+        assert t.numeric_columns() == ["id", "v"]
+        assert t.string_columns() == ["s"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column("a", [1]), Column("a", [2])])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [])
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(KeyError):
+            Table("bad", [Column("a", [1])], primary_key="zzz")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            self._table().column("nope")
+
+    def test_filter_take(self):
+        t = self._table()
+        filtered = t.filter(np.array([True, False, True]))
+        assert filtered.num_rows == 2
+        np.testing.assert_array_equal(filtered.column("id").values, [1, 3])
+        taken = t.take(np.array([1, 1]))
+        np.testing.assert_array_equal(taken.column("s").values, ["b", "b"])
+
+    def test_filter_bad_mask_shape(self):
+        with pytest.raises(ValueError):
+            self._table().filter(np.array([True]))
+
+    def test_zero_row_table_allowed(self):
+        t = Table.from_dict("empty", {"a": np.array([], dtype=np.int64)})
+        assert t.num_rows == 0
+        assert t.filter(np.array([], dtype=bool)).num_rows == 0
+
+
+class TestJoinSchema:
+    def _schema(self):
+        return JoinSchema([
+            JoinRelation("fact", "d1_id", "dim1", "id"),
+            JoinRelation("fact", "d2_id", "dim2", "id"),
+            JoinRelation("dim2", "d3_id", "dim3", "id"),
+        ])
+
+    def test_tables_and_neighbors(self):
+        s = self._schema()
+        assert s.tables == ["dim1", "dim2", "dim3", "fact"]
+        assert s.neighbors("fact") == ["dim1", "dim2"]
+
+    def test_relation_between_orients_result(self):
+        s = self._schema()
+        rel = s.relation_between("dim1", "fact")
+        assert rel.left == "dim1" and rel.right == "fact"
+        assert rel.left_column == "id" and rel.right_column == "d1_id"
+
+    def test_relation_between_missing(self):
+        assert self._schema().relation_between("dim1", "dim3") is None
+
+    def test_connectivity(self):
+        s = self._schema()
+        assert s.is_connected(["fact", "dim1"])
+        assert s.is_connected(["fact", "dim2", "dim3"])
+        assert not s.is_connected(["dim1", "dim3"])
+        assert not s.is_connected([])
+        assert not s.is_connected(["ghost"])
+
+    def test_adjacency_matrix(self):
+        s = self._schema()
+        adj = s.adjacency_matrix(["fact", "dim2", "dim3"])
+        assert adj[0, 1] and adj[1, 2]
+        assert not adj[0, 2]
+        assert not adj.diagonal().any()
+
+    def test_spanning_join_order_is_legal(self):
+        s = self._schema()
+        order = s.spanning_join_order(["dim3", "dim2", "fact", "dim1"], start="fact")
+        assert order[0] == "fact"
+        joined = {order[0]}
+        for table in order[1:]:
+            assert any(s.are_joinable(table, j) for j in joined)
+            joined.add(table)
+
+    def test_spanning_join_order_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            self._schema().spanning_join_order(["dim1", "dim3"])
+
+
+class TestHistogram:
+    def test_selectivity_le_monotone(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000)
+        hist = EquiDepthHistogram.build(values, num_buckets=16)
+        points = np.linspace(-3, 3, 25)
+        sels = [hist.selectivity_le(p) for p in points]
+        assert all(b >= a - 1e-12 for a, b in zip(sels, sels[1:]))
+
+    def test_selectivity_matches_empirical(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=10000)
+        hist = EquiDepthHistogram.build(values, num_buckets=32)
+        for threshold in (10, 50, 90):
+            true = (values <= threshold).mean()
+            assert hist.selectivity_le(threshold) == pytest.approx(true, abs=0.02)
+
+    def test_out_of_range(self):
+        hist = EquiDepthHistogram.build(np.arange(100.0), num_buckets=8)
+        assert hist.selectivity_le(-5) == 0.0
+        assert hist.selectivity_le(1000) == 1.0
+
+    def test_range_selectivity(self):
+        hist = EquiDepthHistogram.build(np.arange(1000.0), num_buckets=10)
+        assert hist.selectivity_range(None, None) == pytest.approx(1.0)
+        assert hist.selectivity_range(250.0, 749.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_empty_histogram(self):
+        hist = EquiDepthHistogram.build(np.array([]))
+        assert hist.selectivity_le(0.0) == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200), st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_selectivity_always_in_unit_interval(self, values, probe):
+        hist = EquiDepthHistogram.build(np.array(values), num_buckets=8)
+        sel = hist.selectivity_le(probe)
+        assert 0.0 <= sel <= 1.0
+
+
+class TestStatistics:
+    def test_analyze_column_numeric(self):
+        col = Column("a", np.concatenate([np.zeros(90), np.arange(10)]))
+        stats = analyze_column(col, num_mcv=3)
+        assert stats.num_rows == 100
+        assert stats.mcv_values[0] == 0.0
+        assert stats.mcv_fractions[0] == pytest.approx(0.91)
+
+    def test_equality_selectivity_mcv_hit(self):
+        col = Column("a", np.concatenate([np.zeros(90), np.arange(1, 11)]))
+        stats = analyze_column(col, num_mcv=2)
+        assert stats.equality_selectivity(0.0) == pytest.approx(0.9)
+
+    def test_equality_selectivity_residual(self):
+        col = Column("a", np.concatenate([np.zeros(90), np.arange(1, 11)]))
+        stats = analyze_column(col, num_mcv=1)
+        residual = stats.equality_selectivity(5.0)
+        assert 0.0 < residual < 0.1
+
+    def test_analyze_table(self):
+        t = Table.from_dict("t", {"a": [1, 2, 3], "s": ["x", "x", "y"]})
+        stats = analyze_table(t)
+        assert stats.num_rows == 3
+        assert stats.column("s").n_distinct == 2
+        assert stats.column("a").histogram is not None
+        assert stats.column("s").histogram is None
+        with pytest.raises(KeyError):
+            stats.column("zzz")
+
+
+class TestDatabase:
+    def _db(self):
+        fact = Table.from_dict("fact", {"id": [1, 2, 3], "dim_id": [1, 1, 2]}, primary_key="id")
+        dim = Table.from_dict("dim", {"id": [1, 2], "v": [0.5, 0.7]}, primary_key="id")
+        db = Database("testdb", [fact, dim])
+        db.add_join(JoinRelation("fact", "dim_id", "dim", "id"))
+        return db
+
+    def test_lookup(self):
+        db = self._db()
+        assert db.table_names == ["dim", "fact"]
+        assert "fact" in db
+        assert db.table("dim").num_rows == 2
+        with pytest.raises(KeyError):
+            db.table("ghost")
+
+    def test_duplicate_table_rejected(self):
+        t = Table.from_dict("x", {"a": [1]})
+        with pytest.raises(ValueError):
+            Database("d", [t, t])
+
+    def test_add_join_validates_columns(self):
+        db = self._db()
+        with pytest.raises(KeyError):
+            db.add_join(JoinRelation("fact", "nope", "dim", "id"))
+
+    def test_statistics_lazy(self):
+        db = self._db()
+        stats = db.statistics("fact")
+        assert stats.num_rows == 3
+
+    def test_analyze_all(self):
+        db = self._db()
+        db.analyze()
+        assert db.statistics("dim").column("v").histogram is not None
+
+    def test_total_rows(self):
+        assert self._db().total_rows() == 5
+
+    def test_isolated_table_in_join_schema(self):
+        lonely = Table.from_dict("lonely", {"a": [1]})
+        db = Database("d", [lonely])
+        assert "lonely" in db.join_schema.tables

@@ -1,0 +1,195 @@
+"""Tests for workload generation, labeling and dataset splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import generate_database
+from repro.engine import execute_plan
+from repro.sql import LikePredicate, Query
+from repro.workload import (
+    QueryDataset,
+    QueryLabeler,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_single_table_queries,
+    split_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(seed=3, num_tables=6, row_range=(80, 400), attr_range=(2, 4))
+
+
+@pytest.fixture(scope="module")
+def generator(db):
+    return WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=4, seed=0))
+
+
+class TestGenerator:
+    def test_queries_are_connected(self, generator):
+        for query in generator.generate(30):
+            assert query.is_connected(), query.to_sql()
+
+    def test_query_table_counts_in_range(self, generator):
+        for query in generator.generate(30):
+            assert 2 <= query.num_tables <= 4
+
+    def test_joins_match_schema(self, db, generator):
+        for query in generator.generate(20):
+            for join in query.joins:
+                assert db.join_schema.are_joinable(join.left, join.right)
+
+    def test_filters_never_touch_key_columns(self, db, generator):
+        for query in generator.generate(30):
+            for table, conj in query.filters.items():
+                pk = db.table(table).primary_key
+                for predicate in conj.predicates:
+                    assert predicate.column_names()[0] != pk
+                    assert not predicate.column_names()[0].startswith("fk_")
+
+    def test_queries_executable(self, db, generator):
+        from repro.engine import left_deep_plan
+        for query in generator.generate(10):
+            order = db.join_schema.spanning_join_order(query.tables, start=query.tables[0])
+            plan = left_deep_plan(query, order)
+            result = execute_plan(plan, db)
+            assert result.cardinality >= 0
+
+    def test_determinism(self, db):
+        a = WorkloadGenerator(db, WorkloadConfig(seed=42, max_tables=3)).generate(5)
+        b = WorkloadGenerator(db, WorkloadConfig(seed=42, max_tables=3)).generate(5)
+        assert [q.to_sql() for q in a] == [q.to_sql() for q in b]
+
+    def test_like_predicates_appear(self, db):
+        config = WorkloadConfig(seed=1, min_tables=1, max_tables=2, like_probability=0.9, filter_probability=1.0)
+        generator = WorkloadGenerator(db, config)
+        queries = generator.generate(50)
+        likes = [
+            p
+            for q in queries
+            for conj in q.filters.values()
+            for p in conj.predicates
+            if isinstance(p, LikePredicate)
+        ]
+        # string columns may be rare in a given schema; require at least some
+        string_columns = any(db.table(t).string_columns() for t in db.table_names)
+        if string_columns:
+            assert likes
+
+    def test_single_table_queries(self, db):
+        table = db.table_names[0]
+        queries = generate_single_table_queries(db, table, 10, seed=0)
+        assert len(queries) == 10
+        for query in queries:
+            assert query.tables == [table]
+            assert not query.joins
+
+
+class TestLabeler:
+    @pytest.fixture(scope="class")
+    def labeled(self, db, generator):
+        labeler = QueryLabeler(db)
+        return labeler.label_many(generator.generate(15), with_optimal_order=True)
+
+    def test_labels_present(self, labeled):
+        assert labeled, "labeling dropped every query"
+        for item in labeled:
+            assert item.num_nodes == 2 * item.query.num_tables - 1
+            assert all(c >= 0 for c in item.node_cardinalities)
+            assert all(c >= 0 for c in item.node_costs)
+
+    def test_root_labels_match_properties(self, labeled):
+        for item in labeled:
+            assert item.cardinality == item.node_cardinalities[0]
+            assert item.cost == item.node_costs[0]
+
+    def test_root_cost_is_total(self, labeled):
+        """The root subtree cost equals the whole plan latency."""
+        for item in labeled:
+            assert item.cost == pytest.approx(item.total_time_ms, rel=1e-9)
+
+    def test_costs_decrease_down_the_tree(self, labeled):
+        """A subtree's cost must be >= each of its children's costs."""
+        for item in labeled:
+            order = item.plan.nodes_preorder()
+            cost_of = {id(n): c for n, c in zip(order, item.node_costs)}
+            for node in order:
+                for child in node.children():
+                    assert cost_of[id(node)] >= cost_of[id(child)] - 1e-9
+
+    def test_optimal_order_legal(self, labeled, db):
+        found = False
+        for item in labeled:
+            if item.optimal_order is None:
+                continue
+            found = True
+            joined = {item.optimal_order[0]}
+            for table in item.optimal_order[1:]:
+                assert item.query.joins_between(joined, {table})
+                joined.add(table)
+            assert sorted(item.optimal_order) == sorted(item.query.tables)
+        assert found, "no query got an optimal-order label"
+
+    def test_card_label_matches_reexecution(self, labeled, db):
+        item = labeled[0]
+        result = execute_plan(item.plan, db)
+        assert result.node_cardinalities == item.node_cardinalities
+
+
+class TestDataset:
+    def _dataset(self, n=20):
+        from repro.workload.labeler import LabeledQuery
+        from repro.engine import scan_node
+
+        items = []
+        for i in range(n):
+            q = Query(tables=["t"], joins=[], filters={})
+            items.append(
+                LabeledQuery(
+                    query=q,
+                    plan=scan_node("t"),
+                    node_cardinalities=[i],
+                    node_costs=[float(i)],
+                    total_time_ms=float(i),
+                    optimal_order=["t"] if i % 2 == 0 else None,
+                )
+            )
+        return QueryDataset(items)
+
+    def test_split_sizes(self):
+        ds = self._dataset(20)
+        train, val = split_dataset(ds, (0.8, 0.2), seed=0)
+        assert len(train) == 16 and len(val) == 4
+
+    def test_split_three_way(self):
+        ds = self._dataset(20)
+        a, b, c = split_dataset(ds, (0.85, 0.1, 0.05), seed=0)
+        assert len(a) + len(b) + len(c) == 20
+
+    def test_split_disjoint(self):
+        ds = self._dataset(10)
+        a, b = split_dataset(ds, (0.5, 0.5), seed=1)
+        ids_a = {id(x) for x in a}
+        ids_b = {id(x) for x in b}
+        assert not (ids_a & ids_b)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            split_dataset(self._dataset(4), (0.5, 0.2))
+
+    def test_with_optimal_order(self):
+        ds = self._dataset(10)
+        assert len(ds.with_optimal_order()) == 5
+
+    def test_batches_cover_everything(self):
+        ds = self._dataset(10)
+        seen = []
+        for batch in ds.batches(3, rng=np.random.default_rng(0)):
+            seen.extend(batch)
+        assert len(seen) == 10
+
+    def test_indexing(self):
+        ds = self._dataset(5)
+        assert ds[0].node_cardinalities == [0]
+        assert len(ds[1:3]) == 2
