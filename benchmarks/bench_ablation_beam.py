@@ -26,8 +26,8 @@ def test_beam_width_sweep(benchmark, study):
         for width in (1, 2, 4):
             start = time.perf_counter()
             scores, hits = [], 0
-            for item in test:
-                order = model.predict_join_order(db_name, item, beam_width=width)
+            orders = model.predict_join_orders(db_name, test, beam_width=width)
+            for item, order in zip(test, orders):
                 scores.append(joeu(order, item.optimal_order))
                 hits += order == item.optimal_order
             elapsed = time.perf_counter() - start

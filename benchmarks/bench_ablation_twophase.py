@@ -19,8 +19,7 @@ from repro.core import JointTrainer, MTMLFQO, ModelConfig, joeu
 
 def _quality(model, db_name, items):
     scores, hits = [], 0
-    for item in items:
-        order = model.predict_join_order(db_name, item)
+    for item, order in zip(items, model.predict_join_orders(db_name, items)):
         scores.append(joeu(order, item.optimal_order))
         hits += order == item.optimal_order
     return float(np.mean(scores)), hits / len(items)

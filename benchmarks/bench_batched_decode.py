@@ -1,0 +1,146 @@
+"""Benchmark: batched vs sequential beam decoding for Trans_JO.
+
+The batched subsystem (DESIGN.md section 2) expands all active beams
+with one decoder forward per timestep; the sequential reference invokes
+the full decoder once per beam per timestep.  This script measures both
+on the ISSUE's reference point — beam width 8, 8-table queries — and
+verifies the candidates are bit-identical before trusting the timing.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_batched_decode.py           # full: asserts >= 3x
+    PYTHONPATH=src python benchmarks/bench_batched_decode.py --smoke   # CI: parity + report
+
+This file is a standalone script (not collected by the tier-1 pytest
+run) so the CI decode-speed job can run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core import ModelConfig, TransJO
+from repro.core.beam import (
+    beam_search_join_order,
+    beam_search_join_order_sequential,
+)
+
+
+def random_connected_adjacency(m: int, rng: np.random.Generator, extra_edges: int = 2) -> np.ndarray:
+    """A connected join graph: a random spanning tree plus a few extras."""
+    adj = np.zeros((m, m), dtype=bool)
+    order = rng.permutation(m)
+    for i in range(1, m):
+        a, b = order[i], order[rng.integers(0, i)]
+        adj[a, b] = adj[b, a] = True
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, m, size=2)
+        if a != b:
+            adj[a, b] = adj[b, a] = True
+    return adj
+
+
+def build_cases(num_queries: int, m: int, d_model: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        (nn.Tensor(rng.normal(size=(1, m, d_model))), random_connected_adjacency(m, rng))
+        for _ in range(num_queries)
+    ]
+
+
+def run_benchmark(
+    num_queries: int = 8,
+    m: int = 8,
+    beam_width: int = 8,
+    d_model: int = 48,
+    decoder_layers: int = 2,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    config = ModelConfig(d_model=d_model, num_heads=4, decoder_layers=decoder_layers)
+    trans_jo = TransJO(config, np.random.default_rng(seed))
+    cases = build_cases(num_queries, m, d_model, seed=seed + 1)
+
+    def decode_all(search):
+        return [
+            search(trans_jo, memory, adjacency, beam_width=beam_width)
+            for memory, adjacency in cases
+        ]
+
+    # Parity first: the speedup is meaningless if the answers differ.
+    batched = decode_all(beam_search_join_order)
+    sequential = decode_all(beam_search_join_order_sequential)
+    mismatches = 0
+    for fast, slow in zip(batched, sequential):
+        if len(fast) != len(slow):
+            mismatches += 1
+            continue
+        for a, b in zip(fast, slow):
+            if a.positions != b.positions or a.log_prob != b.log_prob or a.legal != b.legal:
+                mismatches += 1
+
+    timings = {"batched": [], "sequential": []}
+    for _ in range(repeats):
+        start = time.perf_counter()
+        decode_all(beam_search_join_order_sequential)
+        timings["sequential"].append(time.perf_counter() - start)
+        start = time.perf_counter()
+        decode_all(beam_search_join_order)
+        timings["batched"].append(time.perf_counter() - start)
+
+    sequential_s = min(timings["sequential"])
+    batched_s = min(timings["batched"])
+    return {
+        "num_queries": num_queries,
+        "m": m,
+        "beam_width": beam_width,
+        "mismatches": mismatches,
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "speedup": sequential_s / batched_s if batched_s > 0 else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: asserts candidate parity only and reports the "
+        "speedup (timing thresholds are left to the full run to avoid "
+        "flaking on noisy shared runners)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = run_benchmark(num_queries=4, m=8, beam_width=8, repeats=2)
+        required = None
+    else:
+        result = run_benchmark(num_queries=8, m=8, beam_width=8, repeats=3)
+        required = 3.0
+
+    print("Batched beam decoding vs sequential reference")
+    print("-" * 56)
+    print(f"queries={result['num_queries']}  tables={result['m']}  beam_width={result['beam_width']}")
+    print(f"{'sequential':<14}{1000 * result['sequential_s']:>10.1f} ms")
+    print(f"{'batched':<14}{1000 * result['batched_s']:>10.1f} ms")
+    threshold = f"(required >= {required:.0f}x)" if required else "(informational)"
+    print(f"{'speedup':<14}{result['speedup']:>10.2f} x   {threshold}")
+    print(f"{'parity':<14}{'bit-identical' if result['mismatches'] == 0 else 'MISMATCH':>10}")
+
+    if result["mismatches"]:
+        print(f"FAIL: {result['mismatches']} candidate mismatches between paths", file=sys.stderr)
+        return 1
+    if required is not None and result["speedup"] < required:
+        print(f"FAIL: speedup {result['speedup']:.2f}x below required {required:.0f}x", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

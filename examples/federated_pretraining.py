@@ -53,14 +53,9 @@ def main() -> None:
     trainer.transfer(test_client.db)
 
     jo_items = [i for i in test_client.workload if i.optimal_order and i.query.num_tables >= 2]
-    scores = [
-        joeu(trainer.server_model.predict_join_order(test_client.db.name, item), item.optimal_order)
-        for item in jo_items
-    ]
-    hits = sum(
-        trainer.server_model.predict_join_order(test_client.db.name, item) == item.optimal_order
-        for item in jo_items
-    )
+    orders = trainer.server_model.predict_join_orders(test_client.db.name, jo_items)
+    scores = [joeu(order, item.optimal_order) for item, order in zip(jo_items, orders)]
+    hits = sum(order == item.optimal_order for item, order in zip(jo_items, orders))
     print(f"unseen DB join-order quality: mean JOEU {np.mean(scores):.3f}, "
           f"exactly optimal on {hits}/{len(jo_items)} queries")
     print("\nno raw tuples or queries ever left a client — only (S)/(T) parameters.")

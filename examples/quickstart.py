@@ -65,11 +65,11 @@ def main() -> None:
     print(f"cardinality q-error (median): MTMLF-QO {np.median(mtmlf_errors):.2f}  "
           f"PostgreSQL {np.median(pg_errors):.2f}")
 
-    hits = 0
     jo_items = [item for item in test if item.optimal_order is not None]
-    for item in jo_items:
-        order = model.predict_join_order(db.name, item)
-        hits += order == item.optimal_order
+    # One batched call: Trans_Share encodes all queries together and the
+    # beam searches advance in lockstep off shared decoder forwards.
+    orders = model.predict_join_orders(db.name, jo_items)
+    hits = sum(order == item.optimal_order for item, order in zip(jo_items, orders))
     if jo_items:
         print(f"join order: predicted THE optimal order on {hits}/{len(jo_items)} test queries")
     print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction")

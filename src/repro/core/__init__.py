@@ -7,7 +7,16 @@ beam search, JOEU, the Equation 1/3 loss criteria, the joint trainer and
 the MLA cross-DB meta-learner (Algorithm 1).
 """
 
-from .beam import BeamCandidate, beam_search_join_order, is_legal_order
+from .beam import (
+    BeamCandidate,
+    BeamSearchState,
+    beam_search_join_order,
+    beam_search_join_order_sequential,
+    connected_components,
+    drive_beam_states,
+    is_legal_order,
+    require_connected,
+)
 from .config import ModelConfig
 from .encoders import DatabaseFeaturizer, TableEncoder
 from .featurize import PredicateFeaturizer
@@ -22,12 +31,13 @@ from .losses import (
 )
 from .federated import FederatedClient, FederatedConfig, FederatedTrainer
 from .meta import MetaLearner, MLAConfig
-from .model import EncodedQuery, MTMLFQO
+from .model import EncodedQuery, FeatureCache, MTMLFQO
 from .serializer import (
     JoinTree,
     decoding_embeddings,
     join_tree_from_order,
     join_tree_from_plan,
+    plan_signature,
     serialize_plan,
     tree_from_embeddings,
 )
@@ -45,8 +55,14 @@ __all__ = [
     "TransJO",
     "MTMLFQO",
     "EncodedQuery",
+    "FeatureCache",
     "BeamCandidate",
+    "BeamSearchState",
     "beam_search_join_order",
+    "beam_search_join_order_sequential",
+    "connected_components",
+    "require_connected",
+    "drive_beam_states",
     "is_legal_order",
     "joeu",
     "shared_prefix_length",
@@ -68,6 +84,7 @@ __all__ = [
     "join_tree_from_order",
     "join_tree_from_plan",
     "serialize_plan",
+    "plan_signature",
     "decoding_embeddings",
     "tree_from_embeddings",
 ]

@@ -11,6 +11,22 @@ end (a connected graph always has a spanning order from any start).
 ``legal=False`` candidates are additionally collectable (by disabling
 the adjacency restriction) to feed the illegal-order penalty term of the
 sequence-level loss (Equation 3).
+
+Decoding is **batched** (DESIGN.md section 2): per timestep all active
+beams are expanded with a single ``TransJO.step_logits_batch`` forward,
+and the legality masks are vectorized numpy operations over the
+adjacency matrix.  :class:`BeamSearchState` holds one query's beam
+frontier so that many searches can be driven in lockstep off one shared
+decoder call (see :func:`drive_beam_states` and
+``MTMLFQO.predict_join_orders``).  The original one-forward-per-beam
+path is kept as :func:`beam_search_join_order_sequential`; the batched
+search is bit-identical to it (the parity tests assert so) because every
+row of a batched forward performs the same float operations as the
+corresponding single-row forward.
+
+A disconnected join graph has no legal complete order; with legality
+enforced the search detects this up front and raises ``ValueError``
+naming the components instead of silently returning no candidates.
 """
 
 from __future__ import annotations
@@ -22,7 +38,16 @@ import numpy as np
 from .. import nn
 from ..nn import functional as F
 
-__all__ = ["BeamCandidate", "beam_search_join_order", "is_legal_order"]
+__all__ = [
+    "BeamCandidate",
+    "BeamSearchState",
+    "beam_search_join_order",
+    "beam_search_join_order_sequential",
+    "connected_components",
+    "require_connected",
+    "drive_beam_states",
+    "is_legal_order",
+]
 
 
 @dataclass
@@ -49,6 +74,193 @@ def is_legal_order(positions: list[int], adjacency: np.ndarray) -> bool:
     return True
 
 
+def connected_components(adjacency: np.ndarray) -> list[list[int]]:
+    """Connected components of the join graph, as sorted position lists."""
+    adjacency = np.asarray(adjacency, dtype=bool)
+    m = adjacency.shape[0]
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for root in range(m):
+        if root in seen:
+            continue
+        frontier = [root]
+        component = {root}
+        while frontier:
+            node = frontier.pop()
+            for other in np.flatnonzero(adjacency[node]):
+                other = int(other)
+                if other not in component:
+                    component.add(other)
+                    frontier.append(other)
+        seen |= component
+        components.append(sorted(component))
+    return components
+
+
+def require_connected(adjacency: np.ndarray, tables: list[str] | None = None) -> None:
+    """Raise ``ValueError`` naming the components if the graph is disconnected.
+
+    ``tables`` renders components by table name instead of position.
+    A disconnected join graph has no legal complete order, so every
+    legality-enforcing decode checks this up front rather than silently
+    dead-ending.
+    """
+    components = connected_components(adjacency)
+    if len(components) > 1:
+        render = (lambda p: tables[p]) if tables is not None else str
+        rendered = "; ".join("{" + ", ".join(render(p) for p in c) + "}" for c in components)
+        raise ValueError(
+            f"query join graph is disconnected — components: {rendered}; "
+            "no legal join order exists (cross products are not supported)"
+        )
+
+
+class BeamSearchState:
+    """The beam frontier of one query's join-order decode.
+
+    Holds the active prefixes as a dense ``(B, t)`` matrix plus their
+    scores and used-table masks, and advances all beams at once from a
+    ``(B, m)`` block of next-step log-probabilities.  The expansion and
+    pruning rules replicate the sequential reference exactly (including
+    stable tie-breaking), so candidates are bit-identical to it.
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        beam_width: int = 3,
+        enforce_legality: bool = True,
+        max_candidates: int = 16,
+    ):
+        self.adjacency = np.asarray(adjacency, dtype=bool)
+        self.m = self.adjacency.shape[0]
+        self.beam_width = beam_width
+        self.enforce_legality = enforce_legality
+        self.max_candidates = max_candidates
+        self._adjacency_float = self.adjacency.astype(np.float64)
+        self.prefixes = np.zeros((1, 0), dtype=np.int64)
+        self.scores = np.zeros(1, dtype=np.float64)
+        self.used = np.zeros((1, self.m), dtype=bool)
+        self.done = self.m == 0
+
+    @property
+    def num_active(self) -> int:
+        return 0 if self.done else self.prefixes.shape[0]
+
+    def active_prefixes(self) -> list[list[int]]:
+        return [row.tolist() for row in self.prefixes]
+
+    def _allowed_mask(self) -> np.ndarray:
+        """(B, m) mask of positions each beam may expand to."""
+        allowed = ~self.used
+        if self.enforce_legality and self.prefixes.shape[1] > 0:
+            # A position is reachable iff adjacent to any prefix member;
+            # membership == used (prefixes never repeat positions).
+            connected = (self.used.astype(np.float64) @ self._adjacency_float) > 0.0
+            allowed &= connected
+        return allowed
+
+    def advance(self, log_probs: np.ndarray) -> None:
+        """Expand every active beam from its ``(B, m)`` log-probabilities."""
+        if self.done:
+            raise RuntimeError("advance() on a finished beam search")
+        t = self.prefixes.shape[1]
+        num_beams = self.prefixes.shape[0]
+        allowed = self._allowed_mask()
+        counts = allowed.sum(axis=1)
+        if not counts.any():
+            # Dead end (disconnected graph with legality enforced was
+            # rejected up front; this guards duck-typed callers).
+            self.prefixes = np.zeros((0, t), dtype=np.int64)
+            self.scores = np.zeros(0, dtype=np.float64)
+            self.done = True
+            return
+        # Per-beam top-k: stable argsort on -log_prob with disallowed
+        # positions pushed past the end, matching the reference's stable
+        # ``sorted(allowed, key=lambda p: -log_probs[p])[:beam_width]``.
+        k = min(max(self.beam_width, 1), self.m)
+        ranked = np.argsort(np.where(allowed, -log_probs, np.inf), axis=1, kind="stable")[:, :k]
+        take = np.minimum(counts, k)
+        valid = np.arange(k)[None, :] < take[:, None]
+        beam_index = np.repeat(np.arange(num_beams), take)
+        positions = ranked[valid]
+        new_scores = self.scores[beam_index] + log_probs[beam_index, positions]
+        # Global prune: stable sort by descending score (ties keep the
+        # (beam, rank) emission order, as the reference's list.sort does).
+        keep = max(self.beam_width, 1) if t + 1 < self.m else self.max_candidates
+        order = np.argsort(-new_scores, kind="stable")[:keep]
+        beam_index, positions, new_scores = beam_index[order], positions[order], new_scores[order]
+        self.prefixes = np.concatenate(
+            [self.prefixes[beam_index], positions[:, None]], axis=1
+        )
+        self.scores = new_scores
+        self.used = self.used[beam_index].copy()
+        self.used[np.arange(len(positions)), positions] = True
+        self.done = self.prefixes.shape[1] == self.m
+
+    def candidates(self) -> list[BeamCandidate]:
+        """Completed candidates, sorted by descending log-probability."""
+        out = [
+            BeamCandidate(
+                positions=prefix.tolist(),
+                log_prob=float(score),
+                legal=is_legal_order(prefix.tolist(), self.adjacency),
+            )
+            for prefix, score in zip(self.prefixes, self.scores)
+            if len(prefix) == self.m
+        ]
+        out.sort(key=lambda c: -c.log_prob)
+        return out[: self.max_candidates]
+
+
+def drive_beam_states(
+    trans_jo,
+    memories: list[nn.Tensor],
+    states: list[BeamSearchState],
+) -> None:
+    """Advance many beam searches in lockstep off shared decoder calls.
+
+    ``memories[i]`` is the (1, m_i, d) encoder memory of ``states[i]``.
+    Each global timestep gathers every active beam of every unfinished
+    state — grouped by table count, so all rows of a call share one
+    ``(B_group, m, d)`` shape — and performs one ``step_logits_batch``
+    forward per group.  Grouping by size (rather than zero-padding to
+    the largest query) keeps every gemm the same shape as a solo
+    decode's, which is what makes the batched path bit-identical to the
+    sequential reference: numpy's batched matmul runs one identically-
+    shaped 2D product per row, while padded shapes may pick different
+    BLAS kernels and differ in the last ulp.  Workloads have few
+    distinct table counts, so the fan-in per call stays high.
+    """
+    if len(memories) != len(states):
+        raise ValueError("one memory per beam state required")
+    while True:
+        by_size: dict[int, list[int]] = {}
+        for i, state in enumerate(states):
+            if not state.done:
+                by_size.setdefault(state.m, []).append(i)
+        if not by_size:
+            return
+        for group in by_size.values():
+            blocks: list[np.ndarray] = []
+            prefixes: list[list[int]] = []
+            for i in group:
+                n_beams = states[i].num_active
+                blocks.append(
+                    np.broadcast_to(memories[i].data, (n_beams,) + memories[i].shape[1:])
+                )
+                prefixes.extend(states[i].active_prefixes())
+            memory = nn.Tensor(np.concatenate(blocks, axis=0))
+            with nn.no_grad():
+                logits = trans_jo.step_logits_batch(memory, prefixes)
+            log_probs = F.log_softmax(logits).data
+            offset = 0
+            for i in group:
+                n_beams = states[i].num_active
+                states[i].advance(log_probs[offset: offset + n_beams])
+                offset += n_beams
+
+
 def beam_search_join_order(
     trans_jo,
     memory: nn.Tensor,
@@ -57,25 +269,64 @@ def beam_search_join_order(
     enforce_legality: bool = True,
     max_candidates: int = 16,
 ) -> list[BeamCandidate]:
-    """Decode join orders with beam search.
+    """Decode join orders with batched beam search.
 
     Parameters
     ----------
     trans_jo:
         A :class:`repro.core.trans_jo.TransJO` (or anything exposing
-        ``step_logits(memory, prefix) -> Tensor``).
+        ``step_logits_batch(memory, prefixes) -> Tensor``; objects
+        exposing only ``step_logits`` fall back to the sequential path).
     memory:
         (1, m, d) single-table representations from Trans_Share.
     adjacency:
         (m, m) boolean join adjacency of the query.
     enforce_legality:
         When True (inference), only adjacency-respecting expansions are
-        considered — the emitted orders are guaranteed executable.  When
+        considered — the emitted orders are guaranteed executable, and a
+        disconnected join graph raises ``ValueError`` up front.  When
         False (loss collection), only the "no repeats" rule applies and
         candidates are labelled legal/illegal afterwards.
 
     Returns candidates sorted by descending log-probability.
     """
+    adjacency = np.asarray(adjacency, dtype=bool)
+    if enforce_legality:
+        require_connected(adjacency)
+    if not hasattr(trans_jo, "step_logits_batch"):
+        return beam_search_join_order_sequential(
+            trans_jo,
+            memory,
+            adjacency,
+            beam_width=beam_width,
+            enforce_legality=enforce_legality,
+            max_candidates=max_candidates,
+        )
+    state = BeamSearchState(
+        adjacency,
+        beam_width=beam_width,
+        enforce_legality=enforce_legality,
+        max_candidates=max_candidates,
+    )
+    drive_beam_states(trans_jo, [memory], [state])
+    return state.candidates()
+
+
+def beam_search_join_order_sequential(
+    trans_jo,
+    memory: nn.Tensor,
+    adjacency: np.ndarray,
+    beam_width: int = 3,
+    enforce_legality: bool = True,
+    max_candidates: int = 16,
+) -> list[BeamCandidate]:
+    """Reference beam search: one decoder forward per beam per timestep.
+
+    Kept as the ground truth the batched path is parity-tested against,
+    and as the baseline of ``benchmarks/bench_batched_decode.py``.
+    """
+    if enforce_legality:
+        require_connected(adjacency)
     m = memory.shape[1]
     beams: list[tuple[list[int], float]] = [([], 0.0)]
     for _ in range(m):

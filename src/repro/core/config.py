@@ -38,6 +38,9 @@ class ModelConfig:
     sequence_loss_lambda: float = 4.0
     beam_width: int = 3
 
+    # Plan-feature cache: max structurally-distinct plans kept (LRU).
+    feature_cache_size: int = 4096
+
     # Optimization
     learning_rate: float = 1e-3
     grad_clip: float = 5.0

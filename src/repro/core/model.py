@@ -14,21 +14,74 @@ trained separately (Algorithm 1, line 4).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from .. import nn
 from ..engine.plan import JoinOp, PlanNode, ScanOp
 from ..nn.positional import tree_path_encoding
+from ..sql.query import Query
 from ..workload.labeler import LabeledQuery
-from .beam import BeamCandidate, beam_search_join_order
+from .beam import (
+    BeamCandidate,
+    BeamSearchState,
+    drive_beam_states,
+    require_connected,
+)
 from .config import ModelConfig
 from .encoders import DatabaseFeaturizer
 from .heads import EstimationHead
-from .serializer import serialize_plan
+from .serializer import plan_signature, serialize_plan
 from .shared import SharedRepresentation
 from .trans_jo import TransJO
 
-__all__ = ["MTMLFQO", "EncodedQuery"]
+__all__ = ["MTMLFQO", "EncodedQuery", "FeatureCache"]
+
+# Batched inference processes items in bounded chunks: the Trans_Share
+# forward pads to the chunk's max node count and attention is quadratic
+# in it, so an unbounded batch over a large workload would blow up
+# memory for no extra speedup.
+_INFERENCE_CHUNK = 64
+
+
+class FeatureCache:
+    """Bounded LRU over structurally-keyed :class:`EncodedQuery` entries.
+
+    Keys are ``(db_name, plan_signature(plan))`` — structural, so two
+    distinct but node-for-node identical plans (the cost-rerank's probe
+    plans, re-labeled copies of a query) share one entry, and a recycled
+    object address can never alias a stale encoding the way the previous
+    ``id()``-keyed dict could.  The size bound keeps inference-time probe
+    plans from growing the cache without limit.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"cache size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, EncodedQuery]" = OrderedDict()
+
+    def get(self, key: tuple) -> "EncodedQuery | None":
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, value: "EncodedQuery") -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
 
 
 class EncodedQuery:
@@ -55,7 +108,7 @@ class MTMLFQO(nn.Module):
         self.cost_head = EstimationHead(self.config, rng)
         self.trans_jo = TransJO(self.config, rng)
         self.featurizers: dict[str, DatabaseFeaturizer] = {}
-        self._cache: dict[int, EncodedQuery] = {}
+        self._cache = FeatureCache(self.config.feature_cache_size)
 
     # -- Module plumbing ------------------------------------------------------
     def named_parameters(self, prefix: str = ""):
@@ -79,8 +132,13 @@ class MTMLFQO(nn.Module):
 
     # ------------------------------------------------------------------
     def attach_featurizer(self, db_name: str, featurizer: DatabaseFeaturizer) -> None:
-        """Register the (F) module of a database."""
+        """Register the (F) module of a database.
+
+        Cached encodings are featurizer outputs, so (re)attaching one
+        invalidates the cache.
+        """
         self.featurizers[db_name] = featurizer
+        self._cache.clear()
 
     def featurizer_for(self, db_name: str) -> DatabaseFeaturizer:
         try:
@@ -141,10 +199,15 @@ class MTMLFQO(nn.Module):
         return content
 
     def encode_query(self, db_name: str, labeled: LabeledQuery) -> EncodedQuery:
-        """Run the (F) module on one query's plan; cached per LabeledQuery."""
-        key = id(labeled)
-        if key in self._cache:
-            return self._cache[key]
+        """Run the (F) module on one query's plan.
+
+        Cached in a bounded LRU keyed by the plan's structural signature,
+        so structurally equivalent plans share one entry (DESIGN.md §3).
+        """
+        key = (db_name, plan_signature(labeled.plan))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         featurizer = self.featurizer_for(db_name)
         nodes, positions = serialize_plan(labeled.plan)
         features = np.zeros((len(nodes), self.config.node_feature_dim), dtype=np.float64)
@@ -157,7 +220,7 @@ class MTMLFQO(nn.Module):
             if node.is_scan:
                 leaf_positions[node.table] = index
         encoded = EncodedQuery(features, tree_enc, leaf_positions)
-        self._cache[key] = encoded
+        self._cache.put(key, encoded)
         return encoded
 
     # ------------------------------------------------------------------
@@ -231,6 +294,54 @@ class MTMLFQO(nn.Module):
             out.append(np.exp(log_costs.data[i, : encoding.num_nodes]))
         return out
 
+    @staticmethod
+    def _require_connected(query: Query) -> np.ndarray:
+        """Reject queries whose join graph has no legal complete order.
+
+        Returns the adjacency matrix so callers build it only once.
+        """
+        adjacency = query.adjacency_matrix()
+        require_connected(adjacency, query.tables)
+        return adjacency
+
+    def _decode_candidate_chunks(
+        self,
+        db_name: str,
+        items: list[LabeledQuery],
+        beam_width: int | None,
+        enforce_legality: bool,
+        adjacencies: "list[np.ndarray] | None" = None,
+    ) -> list[list[BeamCandidate]]:
+        """Encode + lockstep-decode ``items`` in bounded chunks.
+
+        The whole pipeline — Trans_Share forward, memory gather, beam
+        drive — runs per chunk of ``_INFERENCE_CHUNK`` queries, so peak
+        memory is capped by the chunk size no matter how many queries
+        are passed in.
+        """
+        width = beam_width or self.config.beam_width
+        all_candidates: list[list[BeamCandidate]] = []
+        for start in range(0, len(items), _INFERENCE_CHUNK):
+            chunk = items[start: start + _INFERENCE_CHUNK]
+            with nn.no_grad():
+                shared, _, encodings = self.forward_batch(db_name, chunk)
+                memories = [
+                    self.join_order_memory(shared[i], encodings[i], item.query.tables)
+                    for i, item in enumerate(chunk)
+                ]
+            states = [
+                BeamSearchState(
+                    adjacencies[start + i] if adjacencies is not None
+                    else item.query.adjacency_matrix(),
+                    beam_width=width,
+                    enforce_legality=enforce_legality,
+                )
+                for i, item in enumerate(chunk)
+            ]
+            drive_beam_states(self.trans_jo, memories, states)
+            all_candidates.extend(state.candidates() for state in states)
+        return all_candidates
+
     def predict_join_order(
         self,
         db_name: str,
@@ -250,24 +361,55 @@ class MTMLFQO(nn.Module):
         task was trained (``w_cost > 0``); the MTMLF-JoinSel ablation
         has no cost head signal and decodes by likelihood alone.
         """
-        self.eval()
-        with nn.no_grad():
-            shared, _, encodings = self.forward_batch(db_name, [labeled])
-            memory = self.join_order_memory(shared[0], encodings[0], labeled.query.tables)
-        candidates = beam_search_join_order(
-            self.trans_jo,
-            memory,
-            labeled.query.adjacency_matrix(),
-            beam_width=beam_width or self.config.beam_width,
+        return self.predict_join_orders(
+            db_name,
+            [labeled],
+            beam_width=beam_width,
             enforce_legality=enforce_legality,
+            rerank_with_cost=rerank_with_cost,
+        )[0]
+
+    def predict_join_orders(
+        self,
+        db_name: str,
+        items: list[LabeledQuery],
+        beam_width: int | None = None,
+        enforce_legality: bool = True,
+        rerank_with_cost: bool | None = None,
+    ) -> list[list[str]]:
+        """Batched join-order inference for many queries at once.
+
+        Queries are processed in bounded chunks: one Trans_Share forward
+        encodes each chunk, then every query's beam search advances in
+        lockstep — each timestep expands all active beams of all queries
+        sharing a table count with a single Trans_JO forward (see
+        :func:`repro.core.beam.drive_beam_states`).  Emitted orders are
+        identical to per-query :meth:`predict_join_order` calls, and
+        peak memory is capped by the chunk size.
+
+        Raises ``ValueError`` up front for any query whose join graph is
+        disconnected (naming the components) when legality is enforced.
+        """
+        if not items:
+            return []
+        adjacencies = None
+        if enforce_legality:
+            adjacencies = [self._require_connected(item.query) for item in items]
+        self.eval()
+        per_query = self._decode_candidate_chunks(
+            db_name, items, beam_width, enforce_legality, adjacencies
         )
-        if not candidates:
-            raise RuntimeError("beam search produced no candidates")
         if rerank_with_cost is None:
             rerank_with_cost = self.config.w_cost > 0.0
-        if rerank_with_cost and len(candidates) > 1 and labeled.query.num_tables > 2:
-            return self._rerank_by_cost(db_name, labeled, candidates)
-        return candidates[0].tables(labeled.query.tables)
+        orders: list[list[str]] = []
+        for item, candidates in zip(items, per_query):
+            if not candidates:
+                raise RuntimeError("beam search produced no candidates")
+            if rerank_with_cost and len(candidates) > 1 and item.query.num_tables > 2:
+                orders.append(self._rerank_by_cost(db_name, item, candidates))
+            else:
+                orders.append(candidates[0].tables(item.query.tables))
+        return orders
 
     def _rerank_by_cost(
         self, db_name: str, labeled: LabeledQuery, candidates, margin: float = 0.7
@@ -275,43 +417,59 @@ class MTMLFQO(nn.Module):
         """Demote the likelihood favourite only on a clear cost signal.
 
         Each legal candidate is costed by the model's own CostEst head;
-        the beam favourite is kept unless some other candidate's
-        predicted log-cost undercuts it by more than ``margin`` (0.7 in
-        natural log ~ a 2x predicted speedup).  The margin makes the
-        rerank a disaster-avoidance mechanism rather than a full
-        re-ordering: CostEst is accurate enough to spot catastrophic
-        orders but noisier than the decoder on near-ties.
+        the beam favourite (the top-likelihood candidate) is tracked
+        explicitly and kept unless some other candidate's predicted
+        log-cost undercuts it by more than ``margin`` (0.7 in natural
+        log ~ a 2x predicted speedup).  The margin makes the rerank a
+        disaster-avoidance mechanism rather than a full re-ordering:
+        CostEst is accurate enough to spot catastrophic orders but
+        noisier than the decoder on near-ties.  When the favourite
+        itself fails to plan there is no candidate the margin should
+        shield, so the top-scoring survivor — the plannable candidate
+        with the best predicted cost — is returned instead.
         """
         from ..optimizer.planner import plan_with_order
         from ..optimizer.selectivity import HistogramEstimator
 
         featurizer = self.featurizer_for(db_name)
         estimator = HistogramEstimator(featurizer.db)
-        scored: list[tuple[list[str], float]] = []
-        for candidate in candidates:
+        orders: list[list[str]] = []
+        probes: list[LabeledQuery] = []
+        favourite_planned = False
+        for index, candidate in enumerate(candidates):
             order = candidate.tables(labeled.query.tables)
             try:
                 plan = plan_with_order(labeled.query, order, estimator)
             except ValueError:
                 continue
-            probe = LabeledQuery(
-                query=labeled.query,
-                plan=plan,
-                node_cardinalities=[0] * len(plan.nodes_preorder()),
-                node_costs=[0.0] * len(plan.nodes_preorder()),
-                total_time_ms=0.0,
+            if index == 0:
+                favourite_planned = True
+            orders.append(order)
+            probes.append(
+                LabeledQuery(
+                    query=labeled.query,
+                    plan=plan,
+                    node_cardinalities=[0] * len(plan.nodes_preorder()),
+                    node_costs=[0.0] * len(plan.nodes_preorder()),
+                    total_time_ms=0.0,
+                )
             )
-            with nn.no_grad():
-                _, log_costs, _, _, _ = self.predict_log_nodes(db_name, [probe])
-            self._cache.pop(id(probe), None)
-            scored.append((order, float(log_costs.data[0, 0])))
-        if not scored:
+        if not probes:
             return candidates[0].tables(labeled.query.tables)
-        favourite_order, favourite_cost = scored[0]
+        # One batched CostEst forward over all plannable probes (the
+        # root's predicted log-cost is preorder index 0 of each row).
+        with nn.no_grad():
+            _, log_costs, _, _, _ = self.predict_log_nodes(db_name, probes)
+        scored = list(zip(orders, log_costs.data[:, 0].tolist()))
+        favourite_cost = scored[0][1] if favourite_planned else None
         challenger_order, challenger_cost = min(scored, key=lambda item: item[1])
+        if favourite_cost is None:
+            # The beam favourite cannot be planned: nothing to protect
+            # with the margin; take the best-costed survivor outright.
+            return challenger_order
         if challenger_cost < favourite_cost - margin:
             return challenger_order
-        return favourite_order
+        return scored[0][0]
 
     def beam_candidates(
         self,
@@ -321,13 +479,29 @@ class MTMLFQO(nn.Module):
         enforce_legality: bool = False,
     ) -> list[BeamCandidate]:
         """Raw beam candidates (used by the sequence-level loss)."""
-        with nn.no_grad():
-            shared, _, encodings = self.forward_batch(db_name, [labeled])
-            memory = self.join_order_memory(shared[0], encodings[0], labeled.query.tables)
-        return beam_search_join_order(
-            self.trans_jo,
-            memory,
-            labeled.query.adjacency_matrix(),
-            beam_width=beam_width or self.config.beam_width,
-            enforce_legality=enforce_legality,
+        return self.beam_candidates_batch(
+            db_name, [labeled], beam_width=beam_width, enforce_legality=enforce_legality
+        )[0]
+
+    def beam_candidates_batch(
+        self,
+        db_name: str,
+        items: list[LabeledQuery],
+        beam_width: int | None = None,
+        enforce_legality: bool = False,
+    ) -> list[list[BeamCandidate]]:
+        """Raw beam candidates for many queries off one shared forward.
+
+        Batches the Trans_Share encode across queries and drives all
+        beam searches in lockstep, like :meth:`predict_join_orders` but
+        returning the full candidate lists (the sequence-level loss
+        needs the illegal ones too).
+        """
+        if not items:
+            return []
+        adjacencies = None
+        if enforce_legality:
+            adjacencies = [self._require_connected(item.query) for item in items]
+        return self._decode_candidate_chunks(
+            db_name, items, beam_width, enforce_legality, adjacencies
         )

@@ -28,6 +28,7 @@ from ..nn.positional import TreePosition
 
 __all__ = [
     "serialize_plan",
+    "plan_signature",
     "decoding_embeddings",
     "tree_from_embeddings",
     "JoinTree",
@@ -122,6 +123,35 @@ def serialize_plan(plan: PlanNode) -> tuple[list[PlanNode], list[TreePosition]]:
 
     visit(plan, TreePosition())
     return nodes, positions
+
+
+def plan_signature(plan: PlanNode) -> tuple:
+    """Structural signature of a plan tree (hashable, order-sensitive).
+
+    Two plans share a signature iff they are node-for-node identical in
+    shape, operators, scanned tables, filters and join predicates — the
+    exact inputs the (F) module's node features are derived from.  Used
+    as the model's feature-cache key (DESIGN.md section 3) so that
+    structurally equivalent plans (e.g. the cost-rerank's probe plans)
+    share one cached encoding, regardless of object identity.
+    """
+    if plan.is_scan:
+        filter_sig = None
+        if plan.filter is not None:
+            filter_sig = (plan.filter.table, tuple(str(p) for p in plan.filter.predicates))
+        return (
+            "scan",
+            plan.table,
+            plan.scan_op.value if plan.scan_op else None,
+            filter_sig,
+        )
+    return (
+        "join",
+        plan.join_op.value if plan.join_op else None,
+        tuple(str(p) for p in plan.join_predicates),
+        plan_signature(plan.left),
+        plan_signature(plan.right),
+    )
 
 
 # ----------------------------------------------------------------------

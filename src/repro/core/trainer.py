@@ -148,20 +148,23 @@ class JointTrainer:
         self.model.train()
         for epoch in range(epochs):
             order = rng.permutation(len(examples))
+            # Database-boundary splits produce ragged batches; weight
+            # each batch by its example count so the epoch loss is the
+            # per-example mean rather than biased toward tiny batches.
             total, count = 0.0, 0
             batch: list[LabeledQuery] = []
             batch_db: str | None = None
             for idx in order:
                 db_name, item = examples[idx]
                 if batch and (db_name != batch_db or len(batch) >= batch_size):
-                    total += self._step(batch_db, batch)
-                    count += 1
+                    total += self._step(batch_db, batch) * len(batch)
+                    count += len(batch)
                     batch = []
                 batch_db = db_name
                 batch.append(item)
             if batch:
-                total += self._step(batch_db, batch)
-                count += 1
+                total += self._step(batch_db, batch) * len(batch)
+                count += len(batch)
             epoch_loss = total / max(count, 1)
             result.epoch_losses.append(epoch_loss)
             if verbose:
@@ -184,12 +187,23 @@ class JointTrainer:
         epochs: int = 3,
         seed: int = 0,
         verbose: bool = False,
+        collect_batch: int = 8,
     ) -> TrainResult:
         """Section 5: refine Trans_JO with the Equation 3 criterion.
 
         Beam candidates (legality *not* enforced, so illegal orders can
         be penalized) are re-scored differentiably and the JOEU-weighted
         sequence loss is applied.
+
+        Candidate collection goes through the batched decoding subsystem
+        (``MTMLFQO.beam_candidates_batch``): per database, groups of
+        ``collect_batch`` queries share one Trans_Share forward and one
+        lockstep beam decode, instead of a full per-beam decoder call
+        per query.  Candidates within a group are sampled from the
+        parameters at the group boundary (at most ``collect_batch - 1``
+        gradient steps stale) — U(x) in Equation 3 is just a sampled
+        candidate set, so this does not change the criterion, only the
+        sampling schedule.
         """
         eligible = [
             (db, item)
@@ -198,31 +212,46 @@ class JointTrainer:
         ]
         if not eligible:
             raise ValueError("no examples with optimal-order labels")
+        collect_batch = max(collect_batch, 1)
         rng = np.random.default_rng(seed)
         result = TrainResult()
         self.model.train()
         for epoch in range(epochs):
             order = rng.permutation(len(eligible))
             total = 0.0
-            for idx in order:
-                db_name, item = eligible[idx]
-                candidates = self.model.beam_candidates(
-                    db_name, item, enforce_legality=False
-                )
-                self.optimizer.zero_grad()
-                shared, _, encodings = self.model.forward_batch(db_name, [item])
-                memory = self.model.join_order_memory(shared[0], encodings[0], item.query.tables)
-                loss = sequence_level_loss(
-                    self.model.trans_jo,
-                    memory,
-                    order_positions(item),
-                    candidates,
-                    penalty=self.config.sequence_loss_lambda,
-                )
-                loss.backward()
-                nn.clip_grad_norm(self.parameters, self.config.grad_clip)
-                self.optimizer.step()
-                total += loss.item()
+            for group_start in range(0, len(order), collect_batch):
+                group = [eligible[idx] for idx in order[group_start: group_start + collect_batch]]
+                # Collection is batched per database run within the group.
+                group_candidates: list = []
+                run_start = 0
+                while run_start < len(group):
+                    run_db = group[run_start][0]
+                    run_end = run_start
+                    while run_end < len(group) and group[run_end][0] == run_db:
+                        run_end += 1
+                    group_candidates.extend(
+                        self.model.beam_candidates_batch(
+                            run_db,
+                            [item for _, item in group[run_start:run_end]],
+                            enforce_legality=False,
+                        )
+                    )
+                    run_start = run_end
+                for (db_name, item), candidates in zip(group, group_candidates):
+                    self.optimizer.zero_grad()
+                    shared, _, encodings = self.model.forward_batch(db_name, [item])
+                    memory = self.model.join_order_memory(shared[0], encodings[0], item.query.tables)
+                    loss = sequence_level_loss(
+                        self.model.trans_jo,
+                        memory,
+                        order_positions(item),
+                        candidates,
+                        penalty=self.config.sequence_loss_lambda,
+                    )
+                    loss.backward()
+                    nn.clip_grad_norm(self.parameters, self.config.grad_clip)
+                    self.optimizer.step()
+                    total += loss.item()
             epoch_loss = total / len(eligible)
             result.epoch_losses.append(epoch_loss)
             if verbose:

@@ -13,7 +13,13 @@ representations themselves (a pointer network): position i's logit is
 ``h_t · W S_i``.  Over a single DB this is equivalent (positions map
 1:1 to tables); across DBs it is what "the task-specific module learns
 how to use the shared representation" demands.  Recorded as a
-documented design choice in DESIGN.md.
+documented design choice in DESIGN.md (section 1).
+
+Decoding is batched: :meth:`TransJO.step_logits_batch` expands many
+beam prefixes — potentially spanning several queries — in one decoder
+forward (DESIGN.md section 2); :meth:`TransJO.step_logits` is the
+single-prefix reference path the batched search is parity-tested
+against.
 """
 
 from __future__ import annotations
@@ -61,6 +67,47 @@ class TransJO(nn.Module):
         keys = self.pointer_proj(memory)          # (1, m, d)
         scale = 1.0 / np.sqrt(self.config.d_model)
         logits = keys.matmul(last.reshape(-1, 1)).reshape(-1) * scale  # (m,)
+        return logits
+
+    def step_logits_batch(
+        self,
+        memory: nn.Tensor,
+        prefixes: list[list[int]],
+        memory_padding_mask: np.ndarray | None = None,
+    ) -> nn.Tensor:
+        """Next-timestamp logits for a whole batch of prefixes at once.
+
+        ``memory`` is (B, m, d): one row of single-table representations
+        per prefix (rows may repeat when several beams share one query).
+        ``prefixes`` may be ragged; shorter rows are padded (the causal
+        self-attention mask keeps pad slots from influencing the read
+        position) and each row's logits are taken at its own last real
+        timestamp.  ``memory_padding_mask`` is (B, m) boolean, True at
+        padded table slots when queries of different table counts share
+        the batch; those slots are excluded from cross-attention and
+        their pointer logits forced to -1e9.
+
+        Returns (B, m) pointer logits — one decoder forward for what
+        :meth:`step_logits` would need B calls to produce.
+        """
+        batch, m, _ = memory.shape
+        if len(prefixes) != batch:
+            raise ValueError(f"{len(prefixes)} prefixes for a memory batch of {batch}")
+        indices, lengths = nn.functional.pad_index_sequences(prefixes)
+        rows = np.arange(batch)
+        start = nn.functional.repeat_batch(self.start_token.reshape(1, 1, -1), batch)
+        if indices.shape[1]:
+            gathered = memory[rows[:, None], indices]  # (B, Tmax, d)
+            x = nn.functional.concat([start, gathered], axis=1)
+        else:
+            x = start
+        hidden = self.decoder(x, memory, memory_padding_mask=memory_padding_mask)
+        last = hidden[rows, lengths]              # (B, d): each row's last real step
+        keys = self.pointer_proj(memory)          # (B, m, d)
+        scale = 1.0 / np.sqrt(self.config.d_model)
+        logits = keys.matmul(last.reshape(batch, -1, 1)).reshape(batch, m) * scale
+        if memory_padding_mask is not None:
+            logits = nn.functional.masked_fill(logits, memory_padding_mask, -1e9)
         return logits
 
     def forward(self, memory: nn.Tensor, target_positions: list[int]) -> nn.Tensor:

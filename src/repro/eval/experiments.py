@@ -323,7 +323,7 @@ class SingleDBStudy:
         pg_orders = [planner.plan(item.query).join_order for item in test]
         optimal_orders = [item.optimal_order for item in test]
         joint = self.train_mtmlf("MTMLF-QO", sequence_refine=True)
-        joint_orders = [joint.predict_join_order(self.db.name, item) for item in test]
+        joint_orders = joint.predict_join_orders(self.db.name, test)
 
         pg_time = total_for_orders(pg_orders)
         rows = [Table2Row("PostgreSQL", pg_time)]
@@ -343,7 +343,7 @@ class SingleDBStudy:
         )
         if with_ablation:
             jo_only = self.train_mtmlf("MTMLF-JoinSel", w_card=0.0, w_cost=0.0, w_jo=1.0)
-            jo_orders = [jo_only.predict_join_order(self.db.name, item) for item in test]
+            jo_orders = jo_only.predict_join_orders(self.db.name, test)
             jo_time = total_for_orders(jo_orders)
             rows.append(Table2Row("MTMLF-JoinSel", jo_time, improvement_ratio(pg_time, jo_time)))
         return rows
@@ -424,15 +424,15 @@ def run_table3(
     estimator = HistogramEstimator(test_db)
     planner = PostgresStylePlanner(test_db)
 
-    def total_time(order_fn) -> float:
+    def total_time(orders: list[list[str]]) -> float:
         total = 0.0
-        for item in holdout:
-            total += join_order_execution_time(test_db, item, order_fn(item), estimator)
+        for item, order in zip(holdout, orders):
+            total += join_order_execution_time(test_db, item, order, estimator)
         return total
 
-    pg_time = total_time(lambda item: planner.plan(item.query).join_order)
-    mla_time = total_time(lambda item: mla_model.predict_join_order(test_db.name, item))
-    single_time = total_time(lambda item: single_model.predict_join_order(test_db.name, item))
+    pg_time = total_time([planner.plan(item.query).join_order for item in holdout])
+    mla_time = total_time(mla_model.predict_join_orders(test_db.name, holdout))
+    single_time = total_time(single_model.predict_join_orders(test_db.name, holdout))
 
     return [
         Table3Row("PostgreSQL", pg_time),

@@ -21,6 +21,8 @@ __all__ = [
     "where",
     "masked_fill",
     "pad_sequences",
+    "pad_index_sequences",
+    "repeat_batch",
     "one_hot",
 ]
 
@@ -145,6 +147,41 @@ def pad_sequences(arrays: list[np.ndarray], pad_value: float = 0.0) -> tuple[np.
         batch[i, : array.shape[0]] = array
         mask[i, : array.shape[0]] = False
     return batch, mask
+
+
+def pad_index_sequences(
+    sequences: list[list[int]], pad_value: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad ragged integer sequences into a dense ``(B, Tmax)`` index batch.
+
+    Returns ``(indices, lengths)``; padded slots hold ``pad_value`` (a
+    valid index, so gathers stay in bounds — consumers must read only the
+    first ``lengths[i]`` entries of row ``i``).
+    """
+    lengths = np.asarray([len(s) for s in sequences], dtype=np.int64)
+    max_len = int(lengths.max()) if len(sequences) else 0
+    indices = np.full((len(sequences), max_len), pad_value, dtype=np.int64)
+    for i, seq in enumerate(sequences):
+        indices[i, : len(seq)] = seq
+    return indices, lengths
+
+
+def repeat_batch(x: Tensor, repeats: int) -> Tensor:
+    """Repeat a ``(1, ...)`` tensor ``repeats`` times along axis 0.
+
+    Gradients sum back over the repeated axis, so this is the
+    batched-decoding equivalent of broadcasting one encoder memory
+    across every active beam.
+    """
+    if x.shape[0] != 1:
+        raise ValueError(f"repeat_batch expects a leading axis of 1, got shape {x.shape}")
+    data = np.broadcast_to(x.data, (repeats,) + x.data.shape[1:])
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad.sum(axis=0, keepdims=True))
+
+    return Tensor._make(np.ascontiguousarray(data), (x,), backward, x.requires_grad)
 
 
 def one_hot(indices, depth: int) -> np.ndarray:
