@@ -8,16 +8,22 @@ Runs the full pipeline end-to-end in under a minute:
 3. train the per-table encoders (F), then the shared representation and
    task heads (S, T) jointly on CardEst + CostEst + JoinSel;
 4. compare predictions against ground truth and PostgreSQL-style
-   estimates on held-out queries.
+   estimates on held-out queries;
+5. serve concurrent single-query traffic through the micro-batching
+   optimizer service (``repro.serve``).
 
 Run:  python examples/quickstart.py
 """
+
+import threading
 
 import numpy as np
 
 from repro.baselines import PostgresBaseline
 from repro.core import DatabaseFeaturizer, JointTrainer, ModelConfig, MTMLFQO
 from repro.datagen import generate_database
+from repro.eval import format_serving_report
+from repro.serve import OptimizerService, ServeConfig
 from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator, split_dataset
 
 
@@ -72,7 +78,26 @@ def main() -> None:
     hits = sum(order == item.optimal_order for item, order in zip(jo_items, orders))
     if jo_items:
         print(f"join order: predicted THE optimal order on {hits}/{len(jo_items)} test queries")
-    print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction")
+
+    print("\n=== 5. Serve concurrent traffic (micro-batching service) ===")
+    # Callers submit ONE query at a time from many threads; the service
+    # coalesces them into the batched decode path and caches plans by
+    # structural signature.  Orders are identical to direct calls.
+    served: dict[int, list[str]] = {}
+    with OptimizerService(model, db.name, ServeConfig(max_batch_size=8, max_wait_ms=3.0)) as service:
+        def client(index, item):
+            served[index] = service.optimize(item)
+
+        threads = [threading.Thread(target=client, args=(i, item)) for i, item in enumerate(jo_items)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        print(format_serving_report(service.report()))
+    matches = sum(served[i] == order for i, order in enumerate(orders))
+    print(f"served orders identical to direct batched calls: {matches}/{len(jo_items)}")
+    print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction"
+          "\n       and examples/serve_demo.py for the full serving-layer demo")
 
 
 if __name__ == "__main__":

@@ -31,13 +31,14 @@ from .losses import (
 )
 from .federated import FederatedClient, FederatedConfig, FederatedTrainer
 from .meta import MetaLearner, MLAConfig
-from .model import EncodedQuery, FeatureCache, MTMLFQO
+from .model import EncodedQuery, FeatureCache, InferenceSession, MTMLFQO
 from .serializer import (
     JoinTree,
     decoding_embeddings,
     join_tree_from_order,
     join_tree_from_plan,
     plan_signature,
+    query_signature,
     serialize_plan,
     tree_from_embeddings,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "MTMLFQO",
     "EncodedQuery",
     "FeatureCache",
+    "InferenceSession",
     "BeamCandidate",
     "BeamSearchState",
     "beam_search_join_order",
@@ -85,6 +87,7 @@ __all__ = [
     "join_tree_from_plan",
     "serialize_plan",
     "plan_signature",
+    "query_signature",
     "decoding_embeddings",
     "tree_from_embeddings",
 ]

@@ -137,6 +137,7 @@ class FederatedTrainer:
                 state[name] * (weight / total) for state, weight in zip(states, weights)
             )
         self.server_model.load_state_dict(merged)
+        self.server_model.mark_updated()
 
     # ------------------------------------------------------------------
     def transfer(self, new_db: Database, featurizer: DatabaseFeaturizer | None = None) -> None:

@@ -14,6 +14,7 @@ trained separately (Algorithm 1, line 4).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -36,7 +37,7 @@ from .serializer import plan_signature, serialize_plan
 from .shared import SharedRepresentation
 from .trans_jo import TransJO
 
-__all__ = ["MTMLFQO", "EncodedQuery", "FeatureCache"]
+__all__ = ["MTMLFQO", "EncodedQuery", "FeatureCache", "InferenceSession"]
 
 # Batched inference processes items in bounded chunks: the Trans_Share
 # forward pads to the chunk's max node count and attention is quadratic
@@ -109,6 +110,25 @@ class MTMLFQO(nn.Module):
         self.trans_jo = TransJO(self.config, rng)
         self.featurizers: dict[str, DatabaseFeaturizer] = {}
         self._cache = FeatureCache(self.config.feature_cache_size)
+        # Node-content memo: a scan node's content depends only on
+        # (table, filter) and a join node's only on its predicate
+        # columns, so distinct plans over one query (rerank probes,
+        # alternative orders) share almost every node.  Memoizing here
+        # skips the per-node encoder forwards (the (F) LSTM over filter
+        # predicates) that dominate encode_query on repeat traffic.
+        self._node_cache = FeatureCache(self.config.feature_cache_size)
+        # Serializes concurrent *inference* through the model: the public
+        # inference entry points (predict_*, beam_candidates_batch) and
+        # mode flips all acquire it, so direct calls are safe alongside a
+        # running serving session.  It does NOT make training concurrent
+        # with serving safe — trainer steps mutate weights and caches
+        # outside this lock; retrain offline, then mark_updated().
+        self._infer_lock = threading.RLock()
+        # Bumped whenever the model's outputs may have changed
+        # (attach_featurizer, trainer runs).  Downstream result caches —
+        # the serving layer's plan cache — embed it in their keys so
+        # entries computed against old weights can never hit again.
+        self.version = 0
 
     # -- Module plumbing ------------------------------------------------------
     def named_parameters(self, prefix: str = ""):
@@ -124,21 +144,35 @@ class MTMLFQO(nn.Module):
         return [p for _, p in self.named_parameters()]
 
     def _set_mode(self, training: bool) -> None:
-        self.training = training
-        for module in (self.shared, self.card_head, self.cost_head, self.trans_jo):
-            module._set_mode(training)
-        for featurizer in self.featurizers.values():
-            featurizer._set_mode(training)
+        # Short-circuit: an always-on serving loop calls eval() on every
+        # request; walking every submodule each time is pure overhead
+        # once the mode is already applied.  attach_featurizer keeps the
+        # invariant that all submodules share self.training.  The lock
+        # keeps a flip from landing in the middle of a served batch.
+        with self._infer_lock:
+            if getattr(self, "_mode_applied", None) == training:
+                return
+            self.training = training
+            self._mode_applied = training
+            for module in (self.shared, self.card_head, self.cost_head, self.trans_jo):
+                module._set_mode(training)
+            for featurizer in self.featurizers.values():
+                featurizer._set_mode(training)
 
     # ------------------------------------------------------------------
     def attach_featurizer(self, db_name: str, featurizer: DatabaseFeaturizer) -> None:
         """Register the (F) module of a database.
 
         Cached encodings are featurizer outputs, so (re)attaching one
-        invalidates the cache.
+        invalidates the cache.  Holds the inference lock: otherwise an
+        in-flight inference on another thread could re-insert an
+        old-featurizer encoding *after* the clear, and the feature
+        caches carry no version in their keys to catch that.
         """
-        self.featurizers[db_name] = featurizer
-        self._cache.clear()
+        with self._infer_lock:
+            featurizer._set_mode(self.training)
+            self.featurizers[db_name] = featurizer
+            self.mark_updated()
 
     def featurizer_for(self, db_name: str) -> DatabaseFeaturizer:
         try:
@@ -147,7 +181,37 @@ class MTMLFQO(nn.Module):
             raise KeyError(f"no featurizer attached for database {db_name!r}") from None
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._infer_lock:
+            self._cache.clear()
+            self._node_cache.clear()
+
+    def mark_updated(self) -> None:
+        """Record that the model's outputs may have changed.
+
+        Called automatically by :meth:`attach_featurizer` and the
+        trainers; call it yourself after mutating weights by hand
+        (including retraining an attached featurizer in place).  Clears
+        the internal feature/node caches — their keys carry no version,
+        so stale encodings must go — and bumps :attr:`version`, which
+        serving-layer plan caches embed in their keys, retiring every
+        previously cached result.
+        """
+        with self._infer_lock:
+            self._cache.clear()
+            self._node_cache.clear()
+            self.version += 1
+
+    def inference_session(self, db_name: str) -> "InferenceSession":
+        """A reusable, thread-safe handle for repeated inference calls.
+
+        The serving layer (``repro.serve``) holds one session per
+        database instead of calling the model directly: the session
+        validates the featurizer once, pins eval mode up front, and
+        serializes calls through the model's inference lock so that
+        concurrent sessions (or a trainer on another thread) can't
+        interleave mode flips or feature-cache bookkeeping.
+        """
+        return InferenceSession(self, db_name)
 
     # ------------------------------------------------------------------
     # Node assembly (F -> raw node sequence)
@@ -179,23 +243,44 @@ class MTMLFQO(nn.Module):
             out[13] = len(node.right.tables) / 10.0
         return out
 
-    def _node_content(self, node: PlanNode, featurizer: DatabaseFeaturizer) -> np.ndarray:
-        """The d_model content slice of a node's raw features (detached)."""
+    def _node_content(self, db_name: str, node: PlanNode, featurizer: DatabaseFeaturizer) -> np.ndarray:
+        """The d_model content slice of a node's raw features (detached).
+
+        Memoized per structural node identity: scan content depends only
+        on ``(table, filter)``, join content only on the predicate
+        column sequence, so every plan over the same query (rerank
+        probes, alternate orders) reuses the encoder outputs instead of
+        re-running the (F) forwards node by node.
+        """
         d = self.config.d_model
         if node.is_scan:
+            filter_sig = None
+            if node.filter is not None:
+                filter_sig = (node.filter.table, tuple(str(p) for p in node.filter.predicates))
+            key = (db_name, "scan", node.table, filter_sig)
+            cached = self._node_cache.get(key)
+            if cached is not None:
+                return cached
             with nn.no_grad():
                 encoded = featurizer.encode_filter(node.filter)
-            return encoded.data.reshape(d)
+            content = encoded.data.reshape(d)
+            self._node_cache.put(key, content)
+            return content
         # Joins: mean embedding of the join-key columns (per-DB knowledge).
         half = d // 2
         ids = []
         for predicate in node.join_predicates:
             ids.append(featurizer.predicates.column_index[(predicate.left, predicate.left_column)] + 1)
             ids.append(featurizer.predicates.column_index[(predicate.right, predicate.right_column)] + 1)
+        key = (db_name, "join", tuple(ids))
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
         with nn.no_grad():
             vectors = featurizer.column_embedding(np.asarray(ids, dtype=np.int64))
         content = np.zeros(d, dtype=np.float64)
         content[:half] = vectors.data.mean(axis=0)
+        self._node_cache.put(key, content)
         return content
 
     def encode_query(self, db_name: str, labeled: LabeledQuery) -> EncodedQuery:
@@ -214,7 +299,7 @@ class MTMLFQO(nn.Module):
         tree_enc = np.zeros((len(nodes), self.config.d_model), dtype=np.float64)
         leaf_positions: dict[str, int] = {}
         for index, (node, position) in enumerate(zip(nodes, positions)):
-            features[index, : self.config.d_model] = self._node_content(node, featurizer)
+            features[index, : self.config.d_model] = self._node_content(db_name, node, featurizer)
             features[index, self.config.d_model:] = self._node_extra_features(node, featurizer, position.depth)
             tree_enc[index] = tree_path_encoding(position, self.config.d_model)
             if node.is_scan:
@@ -276,9 +361,10 @@ class MTMLFQO(nn.Module):
     # ------------------------------------------------------------------
     def predict_cardinalities(self, db_name: str, items: list[LabeledQuery]) -> list[np.ndarray]:
         """Per-node cardinality predictions (linear scale), preorder."""
-        self.eval()
-        with nn.no_grad():
-            log_cards, _, _, encodings, _ = self.predict_log_nodes(db_name, items)
+        with self._infer_lock:
+            self.eval()
+            with nn.no_grad():
+                log_cards, _, _, encodings, _ = self.predict_log_nodes(db_name, items)
         out = []
         for i, encoding in enumerate(encodings):
             out.append(np.exp(log_cards.data[i, : encoding.num_nodes]))
@@ -286,9 +372,10 @@ class MTMLFQO(nn.Module):
 
     def predict_costs(self, db_name: str, items: list[LabeledQuery]) -> list[np.ndarray]:
         """Per-node cost predictions (linear scale), preorder."""
-        self.eval()
-        with nn.no_grad():
-            _, log_costs, _, encodings, _ = self.predict_log_nodes(db_name, items)
+        with self._infer_lock:
+            self.eval()
+            with nn.no_grad():
+                _, log_costs, _, encodings, _ = self.predict_log_nodes(db_name, items)
         out = []
         for i, encoding in enumerate(encodings):
             out.append(np.exp(log_costs.data[i, : encoding.num_nodes]))
@@ -395,81 +482,127 @@ class MTMLFQO(nn.Module):
         adjacencies = None
         if enforce_legality:
             adjacencies = [self._require_connected(item.query) for item in items]
-        self.eval()
-        per_query = self._decode_candidate_chunks(
-            db_name, items, beam_width, enforce_legality, adjacencies
-        )
-        if rerank_with_cost is None:
-            rerank_with_cost = self.config.w_cost > 0.0
-        orders: list[list[str]] = []
-        for item, candidates in zip(items, per_query):
-            if not candidates:
-                raise RuntimeError("beam search produced no candidates")
-            if rerank_with_cost and len(candidates) > 1 and item.query.num_tables > 2:
-                orders.append(self._rerank_by_cost(db_name, item, candidates))
-            else:
-                orders.append(candidates[0].tables(item.query.tables))
-        return orders
+        # The lock makes direct calls safe alongside a running serving
+        # session: forwards are pure but the feature/node LRU caches and
+        # mode flips are not thread-safe.
+        with self._infer_lock:
+            self.eval()
+            per_query = self._decode_candidate_chunks(
+                db_name, items, beam_width, enforce_legality, adjacencies
+            )
+            if rerank_with_cost is None:
+                rerank_with_cost = self.config.w_cost > 0.0
+            orders: list[list[str] | None] = [None] * len(items)
+            rerank_entries: list[tuple[int, LabeledQuery, list[BeamCandidate]]] = []
+            for i, (item, candidates) in enumerate(zip(items, per_query)):
+                if not candidates:
+                    raise RuntimeError("beam search produced no candidates")
+                if rerank_with_cost and len(candidates) > 1 and item.query.num_tables > 2:
+                    rerank_entries.append((i, item, candidates))
+                else:
+                    orders[i] = candidates[0].tables(item.query.tables)
+            for i, order in self._rerank_by_cost_batch(db_name, rerank_entries).items():
+                orders[i] = order
+            return orders
 
     def _rerank_by_cost(
         self, db_name: str, labeled: LabeledQuery, candidates, margin: float = 0.7
     ) -> list[str]:
-        """Demote the likelihood favourite only on a clear cost signal.
+        """Cost-rerank one query's candidates; see :meth:`_rerank_by_cost_batch`."""
+        return self._rerank_by_cost_batch(db_name, [(0, labeled, candidates)], margin)[0]
+
+    def _rerank_by_cost_batch(
+        self,
+        db_name: str,
+        entries: list[tuple[int, LabeledQuery, list]],
+        margin: float = 0.7,
+    ) -> dict[int, list[str]]:
+        """Demote likelihood favourites only on a clear cost signal.
 
         Each legal candidate is costed by the model's own CostEst head;
-        the beam favourite (the top-likelihood candidate) is tracked
-        explicitly and kept unless some other candidate's predicted
-        log-cost undercuts it by more than ``margin`` (0.7 in natural
-        log ~ a 2x predicted speedup).  The margin makes the rerank a
-        disaster-avoidance mechanism rather than a full re-ordering:
-        CostEst is accurate enough to spot catastrophic orders but
-        noisier than the decoder on near-ties.  When the favourite
-        itself fails to plan there is no candidate the margin should
-        shield, so the top-scoring survivor — the plannable candidate
-        with the best predicted cost — is returned instead.
+        a query's beam favourite (its top-likelihood candidate) is
+        tracked explicitly and kept unless some other candidate's
+        predicted log-cost undercuts it by more than ``margin`` (0.7 in
+        natural log ~ a 2x predicted speedup).  The margin makes the
+        rerank a disaster-avoidance mechanism rather than a full
+        re-ordering: CostEst is accurate enough to spot catastrophic
+        orders but noisier than the decoder on near-ties.  When a
+        favourite itself fails to plan there is no candidate the margin
+        should shield, so the top-scoring survivor — the plannable
+        candidate with the best predicted cost — is returned instead.
+
+        Probes of *all* queries are costed in shared CostEst forwards,
+        grouped by probe node count so each forward pads exactly like a
+        solo call would — the bit-exactness rule of DESIGN.md section 2.
+        A complete order over ``m`` tables always plans to ``2m - 1``
+        nodes, so a group mixes queries only when their table counts
+        match.  Returns ``{entry index -> chosen order}``.
         """
         from ..optimizer.planner import plan_with_order
         from ..optimizer.selectivity import HistogramEstimator
 
+        results: dict[int, list[str]] = {}
+        if not entries:
+            return results
         featurizer = self.featurizer_for(db_name)
         estimator = HistogramEstimator(featurizer.db)
-        orders: list[list[str]] = []
-        probes: list[LabeledQuery] = []
-        favourite_planned = False
-        for index, candidate in enumerate(candidates):
-            order = candidate.tables(labeled.query.tables)
-            try:
-                plan = plan_with_order(labeled.query, order, estimator)
-            except ValueError:
-                continue
-            if index == 0:
-                favourite_planned = True
-            orders.append(order)
-            probes.append(
-                LabeledQuery(
-                    query=labeled.query,
-                    plan=plan,
-                    node_cardinalities=[0] * len(plan.nodes_preorder()),
-                    node_costs=[0.0] * len(plan.nodes_preorder()),
-                    total_time_ms=0.0,
+        prepared = []  # (index, orders, probes, favourite_planned)
+        for index, labeled, candidates in entries:
+            orders: list[list[str]] = []
+            probes: list[LabeledQuery] = []
+            favourite_planned = False
+            for rank, candidate in enumerate(candidates):
+                order = candidate.tables(labeled.query.tables)
+                try:
+                    plan = plan_with_order(labeled.query, order, estimator)
+                except ValueError:
+                    continue
+                if rank == 0:
+                    favourite_planned = True
+                orders.append(order)
+                probes.append(
+                    LabeledQuery(
+                        query=labeled.query,
+                        plan=plan,
+                        node_cardinalities=[0] * len(plan.nodes_preorder()),
+                        node_costs=[0.0] * len(plan.nodes_preorder()),
+                        total_time_ms=0.0,
+                    )
                 )
-            )
-        if not probes:
-            return candidates[0].tables(labeled.query.tables)
-        # One batched CostEst forward over all plannable probes (the
-        # root's predicted log-cost is preorder index 0 of each row).
-        with nn.no_grad():
-            _, log_costs, _, _, _ = self.predict_log_nodes(db_name, probes)
-        scored = list(zip(orders, log_costs.data[:, 0].tolist()))
-        favourite_cost = scored[0][1] if favourite_planned else None
-        challenger_order, challenger_cost = min(scored, key=lambda item: item[1])
-        if favourite_cost is None:
-            # The beam favourite cannot be planned: nothing to protect
-            # with the margin; take the best-costed survivor outright.
-            return challenger_order
-        if challenger_cost < favourite_cost - margin:
-            return challenger_order
-        return scored[0][0]
+            if not probes:
+                results[index] = candidates[0].tables(labeled.query.tables)
+            else:
+                prepared.append((index, orders, probes, favourite_planned))
+
+        groups: dict[int, list] = {}
+        for entry in prepared:
+            groups.setdefault(entry[2][0].num_nodes, []).append(entry)
+        for group in groups.values():
+            flat = [probe for _, _, probes, _ in group for probe in probes]
+            # Chunked CostEst forwards over the group's probes (the
+            # root's predicted log-cost is preorder index 0 per row).
+            root_costs: list[float] = []
+            with nn.no_grad():
+                for start in range(0, len(flat), _INFERENCE_CHUNK):
+                    _, log_costs, _, _, _ = self.predict_log_nodes(
+                        db_name, flat[start: start + _INFERENCE_CHUNK]
+                    )
+                    root_costs.extend(log_costs.data[:, 0].tolist())
+            cursor = 0
+            for index, orders, probes, favourite_planned in group:
+                scored = list(zip(orders, root_costs[cursor: cursor + len(probes)]))
+                cursor += len(probes)
+                favourite_cost = scored[0][1] if favourite_planned else None
+                challenger_order, challenger_cost = min(scored, key=lambda item: item[1])
+                if favourite_cost is None:
+                    # The favourite cannot be planned: nothing to protect
+                    # with the margin; take the best-costed survivor.
+                    results[index] = challenger_order
+                elif challenger_cost < favourite_cost - margin:
+                    results[index] = challenger_order
+                else:
+                    results[index] = scored[0][0]
+        return results
 
     def beam_candidates(
         self,
@@ -502,6 +635,37 @@ class MTMLFQO(nn.Module):
         adjacencies = None
         if enforce_legality:
             adjacencies = [self._require_connected(item.query) for item in items]
-        return self._decode_candidate_chunks(
-            db_name, items, beam_width, enforce_legality, adjacencies
-        )
+        with self._infer_lock:
+            return self._decode_candidate_chunks(
+                db_name, items, beam_width, enforce_legality, adjacencies
+            )
+
+
+class InferenceSession:
+    """Reusable eval-mode handle over one ``(model, database)`` pair.
+
+    Created via :meth:`MTMLFQO.inference_session`.  Every call runs
+    under the model's inference lock (acquired by the model's own
+    inference entry points), so concurrent sessions — and direct model
+    calls — serialize against each other and against mode flips, and
+    results are identical to calling the model directly.  The lock does
+    *not* cover trainer steps: training concurrently with serving is
+    unsupported — retrain offline, then :meth:`MTMLFQO.mark_updated`.
+    """
+
+    def __init__(self, model: MTMLFQO, db_name: str):
+        self.model = model
+        self.db_name = db_name
+        model.featurizer_for(db_name)  # fail fast on a missing (F) module
+        with model._infer_lock:
+            model.eval()
+
+    def predict_join_orders(self, items: list[LabeledQuery], **kwargs) -> list[list[str]]:
+        """Batched join-order inference; see :meth:`MTMLFQO.predict_join_orders`."""
+        return self.model.predict_join_orders(self.db_name, items, **kwargs)
+
+    def predict_cardinalities(self, items: list[LabeledQuery]) -> list[np.ndarray]:
+        return self.model.predict_cardinalities(self.db_name, items)
+
+    def predict_costs(self, items: list[LabeledQuery]) -> list[np.ndarray]:
+        return self.model.predict_costs(self.db_name, items)

@@ -29,6 +29,7 @@ from ..nn.positional import TreePosition
 __all__ = [
     "serialize_plan",
     "plan_signature",
+    "query_signature",
     "decoding_embeddings",
     "tree_from_embeddings",
     "JoinTree",
@@ -151,6 +152,31 @@ def plan_signature(plan: PlanNode) -> tuple:
         tuple(str(p) for p in plan.join_predicates),
         plan_signature(plan.left),
         plan_signature(plan.right),
+    )
+
+
+def query_signature(query) -> tuple:
+    """Structural signature of a :class:`repro.sql.Query` (hashable).
+
+    Two queries share a signature iff they touch the same tables *in the
+    same canonical order* (position -> table correspondence matters to
+    the join-order decoder), carry the same set of equi-join predicates,
+    and filter each table identically.  Join predicates and filters are
+    order-insensitive (they describe sets); the table list is not.
+
+    This is the query half of the serving layer's plan-cache key
+    (DESIGN.md "Serving architecture"): requests for structurally
+    identical queries coalesce onto one cached join order.
+    """
+    filters = []
+    for table, conjunction in query.filters.items():
+        if len(conjunction):
+            filters.append((table, tuple(sorted(str(p) for p in conjunction.predicates))))
+    return (
+        "query",
+        tuple(query.tables),
+        tuple(sorted(str(j) for j in query.joins)),
+        tuple(sorted(filters)),
     )
 
 

@@ -169,6 +169,7 @@ class JointTrainer:
             result.epoch_losses.append(epoch_loss)
             if verbose:
                 print(f"  epoch {epoch + 1}/{epochs}: loss {epoch_loss:.4f}")
+        self.model.mark_updated()
         self.model.eval()
         return result
 
@@ -256,5 +257,6 @@ class JointTrainer:
             result.epoch_losses.append(epoch_loss)
             if verbose:
                 print(f"  seq epoch {epoch + 1}/{epochs}: loss {epoch_loss:.4f}")
+        self.model.mark_updated()
         self.model.eval()
         return result

@@ -10,13 +10,15 @@ from .experiments import (
     join_order_execution_time,
     run_table3,
 )
-from .metrics import QErrorStats, improvement_ratio, qerror_stats
-from .reporting import format_table1, format_table2, format_table3
+from .metrics import LatencyStats, QErrorStats, improvement_ratio, latency_stats, qerror_stats
+from .reporting import format_serving_report, format_table1, format_table2, format_table3
 
 __all__ = [
     "QErrorStats",
     "qerror_stats",
     "improvement_ratio",
+    "LatencyStats",
+    "latency_stats",
     "SingleDBStudy",
     "StudyConfig",
     "Table1Row",
@@ -28,4 +30,5 @@ __all__ = [
     "format_table1",
     "format_table2",
     "format_table3",
+    "format_serving_report",
 ]

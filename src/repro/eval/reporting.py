@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .experiments import Table1Row, Table2Row, Table3Row
 
-__all__ = ["format_table1", "format_table2", "format_table3"]
+if TYPE_CHECKING:  # avoid a runtime eval -> serve import cycle
+    from ..serve.stats import ServingReport
+
+__all__ = ["format_table1", "format_table2", "format_table3", "format_serving_report"]
 
 
 def _fmt(value: float | None, width: int = 9) -> str:
@@ -52,4 +57,28 @@ def format_table3(rows: list[Table3Row], title: str = "Table 3: Cross-DB transfe
     for row in rows:
         improvement = "\\" if row.improvement is None else f"{100 * row.improvement:.1f}%"
         lines.append(f"{row.method:<20}{row.total_time_ms:>22,.1f}{improvement:>14}")
+    return "\n".join(lines)
+
+
+def format_serving_report(report: "ServingReport", title: str = "Optimizer service report") -> str:
+    """Render a :class:`repro.serve.ServingReport` in the repo's table style."""
+    lines = [title, "-" * 64]
+    lines.append(f"{'completed':<22}{report.completed:>12,}")
+    lines.append(f"{'rejected (backpressure)':<24}{report.rejected:>10,}")
+    lines.append(f"{'failed':<22}{report.failed:>12,}")
+    lines.append(f"{'throughput':<22}{report.throughput_qps:>12,.1f} q/s")
+    lines.append(f"{'batches drained':<22}{report.batches:>12,}")
+    lines.append(
+        f"{'batch size':<22}{report.mean_batch_size:>12.2f} mean"
+        f"  (max {report.max_batch})"
+    )
+    lines.append(f"{'coalesced requests':<22}{report.coalesced:>12,}")
+    lines.append(f"{'model calls':<22}{report.model_calls:>12,}")
+    lines.append(
+        f"{'plan cache':<22}{report.cache_hits:>12,} hits"
+        f"  {report.cache_misses:,} misses"
+        f"  ({100 * report.cache_hit_rate:.0f}% hit rate, {report.cache_entries:,} entries)"
+    )
+    if report.latency is not None:
+        lines.append(f"{'latency':<22}{'':>2}{report.latency}")
     return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""``repro.serve`` — the always-on micro-batching optimizer service.
+
+Coalesces concurrent single-query ``optimize`` requests into the
+batched ``MTMLFQO.predict_join_orders`` path, with a bounded LRU plan
+cache keyed by structural query/plan signatures, queue-depth
+backpressure, and per-request latency / throughput instrumentation
+(rendered by ``repro.eval.reporting.format_serving_report``).
+See DESIGN.md "Serving architecture".
+"""
+
+from .cache import PlanCache
+from .config import ServeConfig
+from .service import (
+    OptimizerService,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    ServiceTimeoutError,
+)
+from .stats import ServiceStats, ServingReport
+
+__all__ = [
+    "OptimizerService",
+    "PlanCache",
+    "ServeConfig",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "ServiceTimeoutError",
+    "ServiceStats",
+    "ServingReport",
+]

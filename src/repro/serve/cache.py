@@ -1,0 +1,76 @@
+"""Thread-safe bounded LRU cache of served join orders.
+
+Distinct from :class:`repro.core.FeatureCache` (which memoizes
+(F)-module encodings *inside* the model and is only touched under the
+model's inference lock): this cache stores finished *results* — join
+orders — and sits in front of the queue, so it is read and written
+concurrently by every client thread plus the drain loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU of ``key -> join order`` with hit/miss accounting.
+
+    Keys are the structural request signatures built by
+    :meth:`OptimizerService.request_key`; values are join orders
+    (lists of table names).  ``maxsize == 0`` disables the cache (every
+    ``get`` misses, ``put`` is a no-op).  Stored orders are copied on
+    the way in and out so callers can never mutate a cached entry.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 0:
+            raise ValueError(f"cache size must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, list[str]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, key: tuple, count_miss: bool = True) -> "list[str] | None":
+        """Look up a key; ``count_miss=False`` for the drain loop's
+        recheck of keys that already missed on the request fast path
+        (otherwise every served query would count two misses)."""
+        if not self.enabled:
+            return None  # off, not thrashing: counters stay untouched
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return list(entry)
+
+    def put(self, key: tuple, order: list[str]) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = list(order)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries

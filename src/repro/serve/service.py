@@ -1,0 +1,333 @@
+"""The micro-batching optimizer service.
+
+:class:`OptimizerService` is the repo's first always-on layer: callers
+submit *single* queries via :meth:`optimize`, and a drain thread
+coalesces concurrent requests into the batched
+:meth:`MTMLFQO.predict_join_orders` path (one Trans_Share forward plus
+lockstep beam decode per batch) that PR 1 built but nothing served.
+
+Request lifecycle::
+
+    optimize(q) ── cache hit ──────────────────────────► return order
+        │ miss
+        ▼
+    bounded queue ── full ──► ServiceOverloadedError (backpressure)
+        │
+        ▼  (drain thread: wait up to max_wait_ms for max_batch_size)
+    coalesce by structural key ► plan cache recheck ► one batched
+    predict_join_orders ► fill cache ► wake every waiter
+
+Because the batched decode path is bit-identical to per-query calls
+(DESIGN.md section 2) and the cache key is the full structural
+query/plan signature, orders returned through the service are identical
+to direct ``predict_join_orders`` calls — the parity suite
+(``tests/test_serve.py``) asserts this at every beam width 1-8.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+
+from ..core.beam import require_connected
+from ..core.serializer import plan_signature, query_signature
+from ..workload.labeler import LabeledQuery
+from .cache import PlanCache
+from .config import ServeConfig
+from .stats import ServiceStats, ServingReport
+
+__all__ = [
+    "OptimizerService",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "ServiceTimeoutError",
+]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The request queue is full; the caller should back off and retry."""
+
+
+class ServiceStoppedError(RuntimeError):
+    """The service is not running (not started, or already stopped)."""
+
+
+class ServiceTimeoutError(RuntimeError):
+    """The per-request wait bound elapsed before a response arrived."""
+
+
+# optimize()'s "no timeout argument given" sentinel: None must remain a
+# real value (wait forever), distinct from "use the config default".
+_DEFAULT_TIMEOUT = object()
+
+
+class _Request:
+    """One in-flight optimize() call, fulfilled by the drain thread."""
+
+    __slots__ = ("labeled", "key", "done", "result", "error", "abandoned")
+
+    def __init__(self, labeled: LabeledQuery, key: tuple):
+        self.labeled = labeled
+        self.key = key
+        self.done = threading.Event()
+        self.result: list[str] | None = None
+        self.error: BaseException | None = None
+        # Set when the waiter gave up (timeout): the drain loop skips
+        # abandoned requests instead of decoding answers nobody reads —
+        # under sustained overload that work would starve live requests.
+        self.abandoned = False
+
+    def fulfill(self, order: list[str]) -> None:
+        self.result = list(order)
+        self.done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.done.set()
+
+
+class OptimizerService:
+    """Micro-batching join-order service over one ``(model, database)``.
+
+    Use as a context manager (or call :meth:`start` / :meth:`stop`)::
+
+        with OptimizerService(model, db.name, ServeConfig()) as service:
+            order = service.optimize(labeled_query)
+
+    ``optimize`` is safe to call from many threads; all model work runs
+    on the single drain thread through a reusable
+    :class:`repro.core.InferenceSession`.
+    """
+
+    def __init__(self, model, db_name: str, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.db_name = db_name
+        self.session = model.inference_session(db_name)
+        self.cache = PlanCache(self.config.plan_cache_size)
+        self.stats = ServiceStats()
+        self._queue: "deque[_Request]" = deque()
+        self._mutex = threading.Lock()
+        self._nonempty = threading.Condition(self._mutex)
+        self._running = False
+        self._drainer: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "OptimizerService":
+        with self._mutex:
+            if self._running:
+                raise RuntimeError("service already running")
+            self._running = True
+            # Publish the (started) drainer before releasing the lock so
+            # a concurrent stop() always finds a joinable thread.
+            self._drainer = threading.Thread(
+                target=self._drain_loop, name=f"optimizer-serve-{self.db_name}", daemon=True
+            )
+            self._drainer.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, drain what is queued, join the thread."""
+        with self._nonempty:
+            if not self._running:
+                return
+            self._running = False
+            self._nonempty.notify_all()
+            drainer = self._drainer
+        drainer.join()
+        self._drainer = None
+
+    def __enter__(self) -> "OptimizerService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._mutex:
+            return len(self._queue)
+
+    def report(self) -> ServingReport:
+        """Freeze the live counters into a :class:`ServingReport`."""
+        return self.stats.snapshot(queue_depth=self.queue_depth, cache=self.cache)
+
+    # -- request path --------------------------------------------------
+    def request_key(self, labeled: LabeledQuery) -> tuple:
+        """The structural identity of a request (the plan-cache key).
+
+        Combines the query signature (tables, joins, filters) with the
+        initial plan's signature — ``predict_join_orders`` encodes the
+        initial plan, so two requests may only share a cached order when
+        *both* halves match — plus the service's decode policy and the
+        model's :attr:`version` (bumped by ``attach_featurizer`` and the
+        trainers), so orders decoded with superseded weights can never
+        be served after the model changes.
+        """
+        return (
+            self.session.model.version,
+            self.db_name,
+            query_signature(labeled.query),
+            plan_signature(labeled.plan),
+            self.config.beam_width,
+            self.config.enforce_legality,
+            self.config.rerank_with_cost,
+        )
+
+    def optimize(self, labeled: LabeledQuery, timeout=_DEFAULT_TIMEOUT) -> list[str]:
+        """Join order for one query; blocks until served (or rejected).
+
+        Raises :class:`ServiceOverloadedError` when the queue is full,
+        :class:`ServiceTimeoutError` when ``timeout`` (defaults to
+        ``config.request_timeout_s``; pass ``None`` explicitly to wait
+        forever) elapses, and re-raises any model error for *this*
+        request (e.g. ``ValueError`` for a disconnected join graph)
+        without affecting the rest of its batch.
+        """
+        if not self._running:
+            raise ServiceStoppedError("optimizer service is not running")
+        started_at = self.stats.note_request()
+        key = self.request_key(labeled)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.note_completed(started_at)
+            return cached
+        request = _Request(labeled, key)
+        with self._nonempty:
+            if not self._running:
+                raise ServiceStoppedError("optimizer service is not running")
+            if len(self._queue) >= self.config.max_queue_depth:
+                self.stats.note_rejected()
+                raise ServiceOverloadedError(
+                    f"request queue full ({self.config.max_queue_depth} pending)"
+                )
+            self._queue.append(request)
+            self._nonempty.notify_all()
+        if timeout is _DEFAULT_TIMEOUT:
+            timeout = self.config.request_timeout_s
+        if not request.done.wait(timeout):
+            request.abandoned = True
+            self.stats.note_failed()
+            raise ServiceTimeoutError(f"no response within {timeout} s")
+        if request.error is not None:
+            self.stats.note_failed()
+            raise request.error
+        self.stats.note_completed(started_at)
+        assert request.result is not None
+        return request.result
+
+    # -- drain thread --------------------------------------------------
+    def _drain_loop(self) -> None:
+        max_wait_s = self.config.max_wait_ms / 1000.0
+        while True:
+            with self._nonempty:
+                while not self._queue and self._running:
+                    self._nonempty.wait()
+                if not self._queue:
+                    return  # stopped and fully drained
+                # Hold the batch open briefly: concurrent arrivals
+                # coalesce into one model call instead of many.
+                deadline = time.perf_counter() + max_wait_s
+                while len(self._queue) < self.config.max_batch_size and self._running:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._nonempty.wait(remaining)
+                take = min(self.config.max_batch_size, len(self._queue))
+                batch = [self._queue.popleft() for _ in range(take)]
+            try:
+                self._process_batch(batch)
+            except BaseException as error:
+                # The drain thread must survive anything — a dead drainer
+                # would leave a zombie service that accepts requests and
+                # never answers.  Fail the batch's waiters and carry on.
+                for request in batch:
+                    if not request.done.is_set():
+                        request.fail(error)
+
+    def _process_batch(self, batch: list[_Request]) -> None:
+        # 0. Drop requests whose waiter already timed out and left.
+        batch = [request for request in batch if not request.abandoned]
+        if not batch:
+            return
+
+        # 1. Coalesce structurally identical requests onto one model slot.
+        groups: "OrderedDict[tuple, list[_Request]]" = OrderedDict()
+        for request in batch:
+            groups.setdefault(request.key, []).append(request)
+
+        # 2. Recheck the cache: an earlier batch (or the fast path of a
+        #    racing thread) may have filled a key after this request
+        #    missed and enqueued.
+        pending: list[tuple[tuple, list[_Request]]] = []
+        for key, requests in groups.items():
+            cached = self.cache.get(key, count_miss=False)
+            if cached is not None:
+                for request in requests:
+                    request.fulfill(cached)
+            else:
+                pending.append((key, requests))
+
+        # 3. Validate per request what predict_join_orders would reject
+        #    for the whole batch: one disconnected query must fail alone.
+        runnable: list[tuple[tuple, list[_Request]]] = []
+        for key, requests in pending:
+            if self.config.enforce_legality:
+                query = requests[0].labeled.query
+                try:
+                    require_connected(query.adjacency_matrix(), query.tables)
+                except Exception as error:  # any malformed request fails alone
+                    for request in requests:
+                        request.fail(error)
+                    continue
+            runnable.append((key, requests))
+
+        # Coalesced = in-batch duplicates that shared another identical
+        # request's slot (whatever that slot's outcome); model calls =
+        # distinct queries actually decoded this batch.
+        self.stats.note_batch(
+            num_requests=len(batch),
+            num_model_queries=len(runnable),
+            num_coalesced=len(batch) - len(groups),
+        )
+        if not runnable:
+            return
+
+        # 4. One coalesced batched decode for every distinct survivor.
+        items = [requests[0].labeled for _, requests in runnable]
+        try:
+            orders = self.session.predict_join_orders(
+                items,
+                beam_width=self.config.beam_width,
+                enforce_legality=self.config.enforce_legality,
+                rerank_with_cost=self.config.rerank_with_cost,
+            )
+        except BaseException:
+            self._serve_individually(runnable)
+            return
+        for (key, requests), order in zip(runnable, orders):
+            self.cache.put(key, order)
+            for request in requests:
+                request.fulfill(order)
+
+    def _serve_individually(self, runnable: list[tuple[tuple, list[_Request]]]) -> None:
+        """Fallback after a failed batch: isolate the offending request.
+
+        Each distinct query is retried solo so an error poisons only its
+        own requesters; the healthy rest of the batch still gets orders.
+        """
+        for key, requests in runnable:
+            try:
+                order = self.session.predict_join_orders(
+                    [requests[0].labeled],
+                    beam_width=self.config.beam_width,
+                    enforce_legality=self.config.enforce_legality,
+                    rerank_with_cost=self.config.rerank_with_cost,
+                )[0]
+            except BaseException as error:
+                for request in requests:
+                    request.fail(error)
+                continue
+            self.cache.put(key, order)
+            for request in requests:
+                request.fulfill(order)

@@ -1,0 +1,137 @@
+"""Per-request instrumentation of the optimizer service.
+
+:class:`ServiceStats` is the live, thread-safe accumulator the service
+writes to; :meth:`ServiceStats.snapshot` freezes it into a
+:class:`ServingReport`, which ``repro.eval.reporting.format_serving_report``
+renders in the repo's table style.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..eval.metrics import LatencyStats, latency_stats
+
+__all__ = ["ServiceStats", "ServingReport"]
+
+# Latency samples kept for percentile estimation.  A bounded window
+# (most recent completions) keeps memory flat under unbounded traffic.
+_LATENCY_WINDOW = 8192
+
+
+@dataclass
+class ServingReport:
+    """Frozen view of a service's counters at one instant."""
+
+    completed: int
+    rejected: int
+    failed: int
+    cache_hits: int
+    cache_misses: int
+    coalesced: int
+    batches: int
+    batched_requests: int
+    model_calls: int          # queries actually sent through the model
+    max_batch: int
+    queue_depth: int
+    cache_entries: int
+    elapsed_s: float
+    latency: "LatencyStats | None"
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed requests per second of serving wall-clock."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests drained per batch (coalescing included)."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+class ServiceStats:
+    """Thread-safe counters; one instance per service."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.coalesced = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.model_calls = 0
+        self.max_batch = 0
+        self._first_request_at: float | None = None
+        self._last_done_at: float | None = None
+
+    # -- writers (service-internal) ------------------------------------
+    def note_request(self) -> float:
+        now = time.perf_counter()
+        with self._lock:
+            if self._first_request_at is None:
+                self._first_request_at = now
+        return now
+
+    def note_completed(self, started_at: float) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(now - started_at)
+            self._last_done_at = now
+
+    def note_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+            self._last_done_at = time.perf_counter()
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_batch(self, num_requests: int, num_model_queries: int, num_coalesced: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += num_requests
+            self.model_calls += num_model_queries
+            self.coalesced += num_coalesced
+            self.max_batch = max(self.max_batch, num_requests)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, queue_depth: int = 0, cache: "object | None" = None) -> ServingReport:
+        """Freeze the counters (plus the cache's, if one is passed)."""
+        with self._lock:
+            if self._first_request_at is None:
+                elapsed = 0.0
+            else:
+                end = self._last_done_at or time.perf_counter()
+                elapsed = max(end - self._first_request_at, 0.0)
+            return ServingReport(
+                completed=self.completed,
+                rejected=self.rejected,
+                failed=self.failed,
+                cache_hits=getattr(cache, "hits", 0),
+                cache_misses=getattr(cache, "misses", 0),
+                coalesced=self.coalesced,
+                batches=self.batches,
+                batched_requests=self.batched_requests,
+                model_calls=self.model_calls,
+                max_batch=self.max_batch,
+                queue_depth=queue_depth,
+                cache_entries=len(cache) if cache is not None else 0,
+                elapsed_s=elapsed,
+                latency=latency_stats(self._latencies),
+            )

@@ -1,0 +1,196 @@
+"""Property-style tests for the structural signatures in core/serializer.
+
+The serving layer's plan cache keys on ``plan_signature`` and
+``query_signature``, so their contracts are load-bearing:
+
+- **soundness of sharing** — structurally equal plans/queries *always*
+  share a signature (deep copies, independently rebuilt trees,
+  re-labeled queries);
+- **sensitivity** — any structural mutation (swapped children, changed
+  operator, changed predicate, renamed table, dropped join) *never*
+  preserves the signature, or a cache hit would silently serve a wrong
+  plan.
+
+Randomized over generated workloads rather than hand-picked examples.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import plan_signature, query_signature
+from repro.datagen import generate_database
+from repro.engine.plan import JoinOp, PlanNode, ScanOp
+from repro.sql import Query
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(seed=9, num_tables=6, row_range=(60, 200), attr_range=(2, 3))
+
+
+@pytest.fixture(scope="module")
+def labeled(db):
+    generator = WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=5, seed=4))
+    items = QueryLabeler(db).label_many(generator.generate(30), with_optimal_order=False)
+    assert len(items) >= 10
+    return items
+
+
+def join_nodes(plan: PlanNode) -> list[PlanNode]:
+    return [node for node in plan.nodes_preorder() if node.is_join]
+
+
+def scan_nodes(plan: PlanNode) -> list[PlanNode]:
+    return [node for node in plan.nodes_preorder() if node.is_scan]
+
+
+class TestPlanSignatureSharing:
+    def test_deep_copies_share_signature(self, labeled):
+        for item in labeled:
+            twin = copy.deepcopy(item.plan)
+            assert twin is not item.plan
+            assert plan_signature(twin) == plan_signature(item.plan)
+
+    def test_regenerated_workload_shares_signatures(self, db):
+        """Rebuilding the same workload from scratch reproduces every key."""
+        def build():
+            generator = WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=4, seed=8))
+            return QueryLabeler(db).label_many(generator.generate(12), with_optimal_order=False)
+
+        first, second = build(), build()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.plan is not b.plan
+            assert plan_signature(a.plan) == plan_signature(b.plan)
+
+    def test_signature_is_hashable_and_stable(self, labeled):
+        for item in labeled:
+            signature = plan_signature(item.plan)
+            assert hash(signature) == hash(plan_signature(item.plan))
+
+
+class TestPlanSignatureSensitivity:
+    def test_distinct_plans_have_distinct_signatures(self, labeled):
+        signatures = [plan_signature(item.plan) for item in labeled]
+        assert len(set(signatures)) == len(signatures)
+
+    def test_swapped_children_change_signature(self, labeled):
+        """Every join node: mirroring its children must change the key."""
+        checked = 0
+        for item in labeled:
+            for index, _ in enumerate(join_nodes(item.plan)):
+                mutated = copy.deepcopy(item.plan)
+                node = join_nodes(mutated)[index]
+                node.left, node.right = node.right, node.left
+                assert plan_signature(mutated) != plan_signature(item.plan)
+                checked += 1
+        assert checked >= len(labeled)  # at least one join per query
+
+    def test_changed_join_operator_changes_signature(self, labeled):
+        rng = np.random.default_rng(0)
+        for item in labeled:
+            mutated = copy.deepcopy(item.plan)
+            joins = join_nodes(mutated)
+            node = joins[rng.integers(0, len(joins))]
+            node.join_op = next(op for op in JoinOp if op is not node.join_op)
+            assert plan_signature(mutated) != plan_signature(item.plan)
+
+    def test_changed_scan_operator_changes_signature(self, labeled):
+        rng = np.random.default_rng(1)
+        for item in labeled:
+            mutated = copy.deepcopy(item.plan)
+            scans = scan_nodes(mutated)
+            node = scans[rng.integers(0, len(scans))]
+            node.scan_op = ScanOp.INDEX if node.scan_op is not ScanOp.INDEX else ScanOp.SEQ
+            assert plan_signature(mutated) != plan_signature(item.plan)
+
+    def test_renamed_table_changes_signature(self, labeled):
+        for item in labeled:
+            mutated = copy.deepcopy(item.plan)
+            scan_nodes(mutated)[0].table = "no_such_table"
+            assert plan_signature(mutated) != plan_signature(item.plan)
+
+    def test_dropped_filter_changes_signature(self, labeled):
+        changed = 0
+        for item in labeled:
+            mutated = copy.deepcopy(item.plan)
+            for node in scan_nodes(mutated):
+                if node.filter is not None and len(node.filter):
+                    node.filter = None
+                    assert plan_signature(mutated) != plan_signature(item.plan)
+                    changed += 1
+                    break
+        assert changed > 0  # the workload generator does emit filters
+
+    def test_dropped_join_predicate_changes_signature(self, labeled):
+        changed = 0
+        for item in labeled:
+            mutated = copy.deepcopy(item.plan)
+            for node in join_nodes(mutated):
+                if node.join_predicates:
+                    node.join_predicates = node.join_predicates[:-1]
+                    assert plan_signature(mutated) != plan_signature(item.plan)
+                    changed += 1
+                    break
+        assert changed > 0
+
+
+class TestQuerySignature:
+    def test_copies_share_signature(self, labeled):
+        for item in labeled:
+            assert query_signature(copy.deepcopy(item.query)) == query_signature(item.query)
+
+    def test_join_and_filter_order_insensitive(self, labeled):
+        """joins/filters are sets; permuting them must not change the key."""
+        for item in labeled:
+            query = item.query
+            permuted = Query(
+                tables=list(query.tables),
+                joins=list(reversed(query.joins)),
+                filters=dict(reversed(list(query.filters.items()))),
+            )
+            assert query_signature(permuted) == query_signature(query)
+
+    def test_table_order_sensitive(self, labeled):
+        """The canonical table order is the decoder's position mapping."""
+        item = next(i for i in labeled if i.query.num_tables >= 3)
+        query = item.query
+        rotated = Query(
+            tables=query.tables[1:] + query.tables[:1],
+            joins=list(query.joins),
+            filters=dict(query.filters),
+        )
+        assert query_signature(rotated) != query_signature(query)
+
+    def test_dropped_join_changes_signature(self, labeled):
+        item = next(i for i in labeled if len(i.query.joins) >= 2)
+        query = item.query
+        reduced = Query(
+            tables=list(query.tables),
+            joins=query.joins[:-1],
+            filters=dict(query.filters),
+        )
+        assert query_signature(reduced) != query_signature(query)
+
+    def test_distinct_queries_distinct_signatures(self, labeled):
+        signatures = {query_signature(item.query) for item in labeled}
+        assert len(signatures) == len(labeled)
+
+    def test_empty_filter_equivalent_to_absent(self, db, labeled):
+        """An empty conjunction entry must not change the signature."""
+        item = labeled[0]
+        query = item.query
+        table = query.tables[0]
+        if table in query.filters and len(query.filters[table]):
+            pytest.skip("first table carries a real filter")
+        from repro.sql.predicates import Conjunction
+
+        padded = Query(
+            tables=list(query.tables),
+            joins=list(query.joins),
+            filters={**query.filters, table: Conjunction(table=table, predicates=())},
+        )
+        assert query_signature(padded) == query_signature(query)
