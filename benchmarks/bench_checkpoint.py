@@ -1,0 +1,148 @@
+"""Smoke + timing: full-model checkpoint round trip and live hot-swap.
+
+Exercises the model-lifecycle subsystem end to end (DESIGN.md "Model
+lifecycle"):
+
+1. train a small MTMLF-QO, ``save_checkpoint`` (model + featurizer +
+   Adam moments) and ``load_checkpoint`` it back — asserting the round
+   trip is **bit-exact** (identical join orders and cardinality
+   predictions) and reporting save/load wall-clock and file size;
+2. serve 16 concurrent clients through an :class:`OptimizerService`
+   and ``swap_model`` a retrained checkpoint in mid-stream — asserting
+   no request is lost, every response matches one of the two models'
+   direct results, and post-swap traffic is served by the new model
+   only (never from the pre-swap plan cache).
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py           # full
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --smoke   # CI scale
+
+This file is a standalone script (not collected by the tier-1 pytest
+run) so the CI checkpoint job can run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.core import (
+    DatabaseFeaturizer,
+    JointTrainer,
+    ModelConfig,
+    MTMLFQO,
+    load_checkpoint,
+)
+from repro.datagen import generate_database
+from repro.serve import OptimizerService, ServeConfig
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
+
+CONCURRENCY = 16
+
+
+def build(num_queries: int, train_epochs: int):
+    db = generate_database(seed=5, num_tables=5, row_range=(80, 250), attr_range=(2, 3))
+    config = ModelConfig(d_model=32, num_heads=2, encoder_layers=1, shared_layers=1,
+                         decoder_layers=1)
+    featurizer = DatabaseFeaturizer(db, config)
+    featurizer.train_encoders(queries_per_table=4, epochs=2)
+    generator = WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=4, seed=9))
+    pool = QueryLabeler(db).label_many(generator.generate(num_queries), with_optimal_order=False)
+    model = MTMLFQO(config)
+    model.attach_featurizer(db.name, featurizer)
+    trainer = JointTrainer(model)
+    trainer.train([(db.name, item) for item in pool], epochs=train_epochs, batch_size=8)
+    return db, config, featurizer, pool, model, trainer
+
+
+def check_round_trip(db, pool, model, trainer, checkpoint_dir: str) -> str:
+    started = time.perf_counter()
+    path = trainer.save_checkpoint(os.path.join(checkpoint_dir, "model_v1"))
+    save_s = time.perf_counter() - started
+    size_mb = os.path.getsize(path) / 1e6
+    started = time.perf_counter()
+    loaded = load_checkpoint(path, databases=db)
+    load_s = time.perf_counter() - started
+    print(f"checkpoint: {size_mb:.1f} MB, save {save_s * 1e3:.0f} ms, load {load_s * 1e3:.0f} ms")
+
+    direct = model.predict_join_orders(db.name, pool)
+    restored = loaded.predict_join_orders(db.name, pool)
+    assert restored == direct, "round-trip join orders diverged"
+    for a, b in zip(model.predict_cardinalities(db.name, pool),
+                    loaded.predict_cardinalities(db.name, pool)):
+        np.testing.assert_array_equal(a, b)
+    assert loaded.version == model.version
+    print(f"round trip bit-exact on {len(pool)} queries (model_version {loaded.version})")
+    return path
+
+
+def check_hot_swap(db, config, featurizer, pool, model, checkpoint_dir: str,
+                   requests_per_client: int) -> None:
+    retrained = MTMLFQO(config)
+    retrained.attach_featurizer(db.name, featurizer)
+    JointTrainer(retrained).train([(db.name, item) for item in pool], epochs=2, batch_size=8)
+    from repro.core import save_checkpoint
+
+    path = save_checkpoint(retrained, os.path.join(checkpoint_dir, "model_v2"))
+    direct_old = model.predict_join_orders(db.name, pool, beam_width=2)
+    direct_new = retrained.predict_join_orders(db.name, pool, beam_width=2)
+
+    answers: list[list[tuple[int, list[str]]]] = [[] for _ in range(CONCURRENCY)]
+    errors: list[BaseException] = []
+    serve_config = ServeConfig(max_batch_size=CONCURRENCY, max_wait_ms=2.0, beam_width=2)
+    with OptimizerService(model, db.name, serve_config) as service:
+        def client(slot):
+            rng = random.Random(slot)
+            try:
+                for _ in range(requests_per_client):
+                    index = rng.randrange(len(pool))
+                    answers[slot].append((index, service.optimize(pool[index])))
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(slot,)) for slot in range(CONCURRENCY)]
+        for thread in threads:
+            thread.start()
+        service.swap_model(path)  # rolling update, traffic still flowing
+        for thread in threads:
+            thread.join()
+        post = [service.optimize(item) for item in pool]
+        report = service.report()
+
+    assert not errors, errors
+    received = sum(len(slot_answers) for slot_answers in answers)
+    assert received == CONCURRENCY * requests_per_client, "lost/duplicated responses"
+    for slot_answers in answers:
+        for index, order in slot_answers:
+            assert order in (direct_old[index], direct_new[index]), "cross-model garbage"
+    assert post == direct_new, "post-swap traffic not served by the new model"
+    assert report.swaps == 1 and report.failed == 0
+    print(f"hot swap under {CONCURRENCY} clients: {received} responses, none lost; "
+          f"post-swap parity {len(pool)}/{len(pool)}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI scale (fewer queries/epochs)")
+    args = parser.parse_args(argv)
+    num_queries = 12 if args.smoke else 24
+    train_epochs = 1 if args.smoke else 3
+    requests_per_client = 6 if args.smoke else 20
+
+    db, config, featurizer, pool, model, trainer = build(num_queries, train_epochs)
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        check_round_trip(db, pool, model, trainer, checkpoint_dir)
+        check_hot_swap(db, config, featurizer, pool, model, checkpoint_dir, requests_per_client)
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

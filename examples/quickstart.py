@@ -10,17 +10,27 @@ Runs the full pipeline end-to-end in under a minute:
 4. compare predictions against ground truth and PostgreSQL-style
    estimates on held-out queries;
 5. serve concurrent single-query traffic through the micro-batching
-   optimizer service (``repro.serve``).
+   optimizer service (``repro.serve``);
+6. checkpoint the full model to disk, restore it bit-exactly, and
+   warm-start further training from the saved optimizer moments.
 
 Run:  python examples/quickstart.py
 """
 
+import os
+import tempfile
 import threading
 
 import numpy as np
 
 from repro.baselines import PostgresBaseline
-from repro.core import DatabaseFeaturizer, JointTrainer, ModelConfig, MTMLFQO
+from repro.core import (
+    DatabaseFeaturizer,
+    JointTrainer,
+    ModelConfig,
+    MTMLFQO,
+    load_checkpoint,
+)
 from repro.datagen import generate_database
 from repro.eval import format_serving_report
 from repro.serve import OptimizerService, ServeConfig
@@ -96,8 +106,33 @@ def main() -> None:
         print(format_serving_report(service.report()))
     matches = sum(served[i] == order for i, order in enumerate(orders))
     print(f"served orders identical to direct batched calls: {matches}/{len(jo_items)}")
+
+    print("\n=== 6. Checkpoint: save, restore, warm-start (MLA shipping) ===")
+    # The paper's MLA workflow ships pre-trained modules; save_checkpoint
+    # persists the *complete* model — config, (S)/(T) weights, the
+    # per-database featurizer, model version — plus the trainer's Adam
+    # moments, in one atomic .npz file.
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        path = trainer.save_checkpoint(os.path.join(checkpoint_dir, "mtmlf_qo"))
+        print(f"checkpoint written: {os.path.basename(path)} "
+              f"({os.path.getsize(path) / 1e6:.1f} MB)")
+
+        # Restore is bit-exact: the loaded model decodes identical orders.
+        restored = load_checkpoint(path, databases=db)
+        restored_orders = restored.predict_join_orders(db.name, jo_items)
+        print(f"restored model reproduces direct orders: "
+              f"{sum(a == b for a, b in zip(orders, restored_orders))}/{len(jo_items)}")
+
+        # Warm start: a fresh trainer resumes with the saved Adam moments
+        # (keyed by parameter name, so a mismatched model fails loudly
+        # instead of silently misaligning).
+        warm = JointTrainer.warm_start(path, databases=db)
+        more = warm.train([(db.name, item) for item in train], epochs=2, batch_size=16)
+        print(f"warm-started training continues: loss {result.final_loss:.3f} "
+              f"-> {more.final_loss:.3f}")
+
     print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction"
-          "\n       and examples/serve_demo.py for the full serving-layer demo")
+          "\n       and examples/serve_demo.py for serving + live model hot-swap")
 
 
 if __name__ == "__main__":

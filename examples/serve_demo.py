@@ -5,17 +5,27 @@ MTMLF-QO model and fires a production-shaped request stream at it from
 16 concurrent clients: queries repeat (hot queries hit the LRU plan
 cache), concurrent distinct queries coalesce into batched
 ``predict_join_orders`` calls, and a sprinkle of malformed requests
-shows per-request error isolation.  Ends with the serving report —
-throughput, latency percentiles, batch sizes, cache hit rate — and a
-parity spot-check against direct model calls.
+shows per-request error isolation.  Midway, the serving model is
+hot-swapped from a checkpoint while traffic keeps flowing (a rolling
+model update with no restart and no lost request).  Ends with the
+serving report — throughput, latency percentiles, batch sizes, cache
+hit rate, swap count — and a parity spot-check against direct calls.
 
 Run:  PYTHONPATH=src python examples/serve_demo.py
 """
 
+import os
 import random
+import tempfile
 import threading
 
-from repro.core import DatabaseFeaturizer, ModelConfig, MTMLFQO
+from repro.core import (
+    DatabaseFeaturizer,
+    JointTrainer,
+    ModelConfig,
+    MTMLFQO,
+    save_checkpoint,
+)
 from repro.datagen import generate_database
 from repro.engine.plan import scan_node
 from repro.eval import format_serving_report
@@ -78,20 +88,57 @@ def main() -> None:
             thread.start()
         for thread in threads:
             thread.join()
+
+        print(f"served {service.report().completed} requests from "
+              f"{CONCURRENCY} concurrent clients")
+        print(f"rejected poison request with: {isolated_errors[0][:72]}...")
+
+        print("\n=== 3. Live model hot-swap (rolling update, no restart) ===")
+        # Retrain offline, checkpoint, and swap the running service onto
+        # the new weights: in-flight requests finish on the old model,
+        # the plan cache invalidates, and no request is lost.
+        retrained = MTMLFQO(config)
+        retrained.attach_featurizer(db.name, featurizer)
+        JointTrainer(retrained).train(
+            [(db.name, item) for item in pool], epochs=3, batch_size=8
+        )
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            path = save_checkpoint(retrained, os.path.join(checkpoint_dir, "v2"))
+            swap_threads = [
+                threading.Thread(target=client, args=(slot, service))
+                for slot in range(1, CONCURRENCY)  # traffic keeps flowing...
+            ]
+            for thread in swap_threads:
+                thread.start()
+            service.swap_model(path)               # ...while the model swaps
+            for thread in swap_threads:
+                thread.join()
+        post_swap = service.optimize(pool[0])
+        expected = retrained.predict_join_orders(db.name, [pool[0]])[0]
+        print(f"swapped under load; post-swap order served by the new model: "
+              f"{post_swap == expected}")
+
+        # One more clean round: everything below is post-swap traffic.
+        answered.clear()
+        final_threads = [
+            threading.Thread(target=client, args=(slot, service))
+            for slot in range(1, CONCURRENCY)
+        ]
+        for thread in final_threads:
+            thread.start()
+        for thread in final_threads:
+            thread.join()
         report = service.report()
 
-    print(f"served {report.completed} requests from {CONCURRENCY} concurrent clients")
-    print(f"rejected poison request with: {isolated_errors[0][:72]}...")
-
-    print("\n=== 3. Serving report ===")
+    print("\n=== 4. Serving report ===")
     print(format_serving_report(report))
 
-    print("\n=== 4. Parity spot-check against direct model calls ===")
+    print("\n=== 5. Parity spot-check against direct model calls ===")
     indices = sorted(answered)[:8]
-    direct = model.predict_join_orders(db.name, [pool[i] for i in indices])
+    direct = retrained.predict_join_orders(db.name, [pool[i] for i in indices])
     agreement = sum(answered[i] == order for i, order in zip(indices, direct))
-    print(f"served orders identical to direct predict_join_orders: {agreement}/{len(indices)}")
-    print("\ndone — see DESIGN.md 'Serving architecture' for the batching/caching policy")
+    print(f"post-swap served orders identical to direct calls: {agreement}/{len(indices)}")
+    print("\ndone — see DESIGN.md 'Serving architecture' and 'Model lifecycle'")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,14 @@ beam search, JOEU, the Equation 1/3 loss criteria, the joint trainer and
 the MLA cross-DB meta-learner (Algorithm 1).
 """
 
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    load_optimizer_state,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
 from .beam import (
     BeamCandidate,
     BeamSearchState,
@@ -48,6 +56,12 @@ from .trans_jo import TransJO
 
 __all__ = [
     "ModelConfig",
+    "CheckpointError",
+    "CHECKPOINT_FORMAT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_optimizer_state",
+    "read_checkpoint_meta",
     "PredicateFeaturizer",
     "TableEncoder",
     "DatabaseFeaturizer",

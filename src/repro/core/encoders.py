@@ -90,18 +90,20 @@ class DatabaseFeaturizer(nn.Module):
             table: TableEncoder(self.config, rng) for table in db.table_names
         }
 
-    # -- Module plumbing: dict of sub-modules needs explicit traversal -----
-    def named_parameters(self, prefix: str = ""):
-        found = list(self.column_embedding.named_parameters(prefix=f"{prefix}column_embedding."))
-        for table, encoder in sorted(self.encoders.items()):
-            found.extend(encoder.named_parameters(prefix=f"{prefix}encoders.{table}."))
-        return found
+    # Parameter traversal and train/eval switching of the ``encoders``
+    # dict are handled by the ``Module`` base class, which walks
+    # dict-valued attributes in sorted-key order.
 
-    def _set_mode(self, training: bool) -> None:
-        self.training = training
-        self.column_embedding._set_mode(training)
-        for encoder in self.encoders.values():
-            encoder._set_mode(training)
+    def schema_signature(self) -> tuple:
+        """Structural identity of the (F) module's learnable layout.
+
+        Checkpoints persist this signature: a featurizer state dict only
+        loads into a featurizer built over a schema with the same tables
+        and per-table column lists (column embeddings are indexed by the
+        schema-derived vocabulary, so any drift would silently permute
+        them).
+        """
+        return self.predicates.schema_signature()
 
     # ------------------------------------------------------------------
     def encode_filter(self, conjunction: Conjunction) -> nn.Tensor:

@@ -69,6 +69,22 @@ class PredicateFeaturizer:
     def num_columns(self) -> int:
         return len(self.column_index)
 
+    def schema_signature(self) -> tuple:
+        """Stable identity of the column vocabulary this featurizer indexes.
+
+        A tuple of ``(table, (columns...))`` pairs in vocabulary order.
+        Learned column embeddings are addressed through ``column_index``,
+        so two featurizers are state-dict compatible exactly when their
+        signatures match; checkpoints compare this on restore.
+        """
+        per_table: dict[str, list[str]] = {}
+        for table_name, column_name in self.column_index:
+            per_table.setdefault(table_name, []).append(column_name)
+        return tuple(
+            (table_name, tuple(per_table.get(table_name, ())))
+            for table_name in self.db.table_names
+        )
+
     # ------------------------------------------------------------------
     def _quantile(self, table: str, column: str, value: float) -> float:
         stats = self.db.statistics(table).column(column)

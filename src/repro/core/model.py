@@ -185,6 +185,20 @@ class MTMLFQO(nn.Module):
             self._cache.clear()
             self._node_cache.clear()
 
+    def restore_version(self, version: int) -> None:
+        """Set :attr:`version` to a checkpointed value.
+
+        Used by :func:`repro.core.checkpoint.load_checkpoint` after
+        rebuilding a model, so the loaded instance keeps the saved
+        version identity instead of the bumps its own reconstruction
+        (``attach_featurizer``) produced.  Clears the feature caches like
+        any other version change would.
+        """
+        with self._infer_lock:
+            self._cache.clear()
+            self._node_cache.clear()
+            self.version = int(version)
+
     def mark_updated(self) -> None:
         """Record that the model's outputs may have changed.
 

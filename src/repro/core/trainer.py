@@ -75,7 +75,12 @@ class JointTrainer:
         self.model = model
         self.config: ModelConfig = model.config
         self.parameters = model.shared_task_parameters()
-        self.optimizer = nn.Adam(self.parameters, lr=learning_rate or self.config.learning_rate)
+        # Named parameters: the optimizer's moment estimates are keyed by
+        # parameter name, so warm-start state saved in a checkpoint can
+        # only ever restore onto the parameters it was computed for.
+        self.optimizer = nn.Adam(
+            model.named_parameters(), lr=learning_rate or self.config.learning_rate
+        )
         # Which join-order labels _batch_losses trains on: "optimal" uses
         # the (expensive) exact orders; "planner" uses the initial plan's
         # order as weak supervision (two-phase training, Section 3.2).
@@ -172,6 +177,41 @@ class JointTrainer:
         self.model.mark_updated()
         self.model.eval()
         return result
+
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str) -> str:
+        """Persist the model *and* this trainer's Adam state to ``path``.
+
+        Returns the resolved path; ``warm_start`` (or
+        :func:`repro.core.checkpoint.load_optimizer_state`) restores the
+        optimizer moments so training resumes where it left off instead
+        of re-warming from zeroed moments.
+        """
+        from .checkpoint import save_checkpoint
+
+        return save_checkpoint(self.model, path, optimizer=self.optimizer)
+
+    @classmethod
+    def warm_start(cls, path: str, databases, learning_rate: float | None = None) -> "JointTrainer":
+        """Rebuild a trainer (model + optimizer moments) from a checkpoint.
+
+        The checkpoint's Adam hyper-parameters (lr, betas, eps, weight
+        decay) are restored along with the moments — resuming really
+        does continue the saved run; pass ``learning_rate`` to override
+        the saved lr deliberately.
+        """
+        from .checkpoint import load_checkpoint, load_optimizer_state, read_checkpoint_meta
+
+        model = load_checkpoint(path, databases=databases)
+        trainer = cls(model, learning_rate=learning_rate)
+        load_optimizer_state(path, trainer.optimizer)
+        saved = read_checkpoint_meta(path)["optimizer"]
+        trainer.optimizer.beta1, trainer.optimizer.beta2 = saved["betas"]
+        trainer.optimizer.eps = saved["eps"]
+        trainer.optimizer.weight_decay = saved["weight_decay"]
+        if learning_rate is None:
+            trainer.optimizer.lr = saved["lr"]
+        return trainer
 
     def _step(self, db_name: str, batch: list[LabeledQuery]) -> float:
         self.optimizer.zero_grad()

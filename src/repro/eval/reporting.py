@@ -74,6 +74,8 @@ def format_serving_report(report: "ServingReport", title: str = "Optimizer servi
     )
     lines.append(f"{'coalesced requests':<22}{report.coalesced:>12,}")
     lines.append(f"{'model calls':<22}{report.model_calls:>12,}")
+    if report.swaps:
+        lines.append(f"{'model hot-swaps':<22}{report.swaps:>12,}")
     lines.append(
         f"{'plan cache':<22}{report.cache_hits:>12,} hits"
         f"  {report.cache_misses:,} misses"

@@ -42,6 +42,14 @@ class Module:
                         found.append((f"{path}.{i}", item))
                     elif isinstance(item, Module):
                         found.extend(item.named_parameters(prefix=f"{path}.{i}."))
+            elif isinstance(value, dict):
+                # Sorted so parameter order (and thus state-dict layout and
+                # optimizer alignment) never depends on insertion order.
+                for sub_key, item in sorted(value.items(), key=lambda kv: str(kv[0])):
+                    if isinstance(item, Parameter):
+                        found.append((f"{path}.{sub_key}", item))
+                    elif isinstance(item, Module):
+                        found.extend(item.named_parameters(prefix=f"{path}.{sub_key}."))
         return found
 
     def parameters(self) -> list[Parameter]:
@@ -70,6 +78,10 @@ class Module:
                 value._set_mode(training)
             elif isinstance(value, (list, tuple)):
                 for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+            elif isinstance(value, dict):
+                for item in value.values():
                     if isinstance(item, Module):
                         item._set_mode(training)
 

@@ -33,10 +33,40 @@ def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base optimizer holding a parameter list."""
+    """Base optimizer holding a parameter list.
 
-    def __init__(self, parameters: list[Parameter]):
-        self.parameters = list(parameters)
+    Accepts either bare parameters or ``(name, parameter)`` pairs (as
+    produced by :meth:`Module.named_parameters`).  Names make optimizer
+    state *portable*: state dicts are keyed by parameter name instead of
+    list position, so a warm start restores each moment to the right
+    parameter even when the surrounding parameter set changed — and a
+    genuine mismatch fails loudly instead of silently misaligning.
+    """
+
+    def __init__(self, parameters):
+        entries = list(parameters)
+        names: list[str] = []
+        params: list[Parameter] = []
+        for entry in entries:
+            if isinstance(entry, tuple):
+                name, param = entry
+                names.append(str(name))
+                params.append(param)
+            else:
+                params.append(entry)
+        if names and len(names) != len(params):
+            raise ValueError("mix of named and unnamed parameters")
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate parameter names: {duplicates}")
+        self.parameters = params
+        self.param_names: list[str] | None = names or None
+
+    def _state_keys(self) -> list[str]:
+        """Per-parameter state keys: names when given, positions otherwise."""
+        if self.param_names is not None:
+            return self.param_names
+        return [str(i) for i in range(len(self.parameters))]
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -49,7 +79,7 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
 
-    def __init__(self, parameters: list[Parameter], lr: float = 1e-2, momentum: float = 0.0):
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
         super().__init__(parameters)
         self.lr = lr
         self.momentum = momentum
@@ -72,7 +102,7 @@ class Adam(Optimizer):
 
     def __init__(
         self,
-        parameters: list[Parameter],
+        parameters,
         lr: float = 1e-4,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
@@ -86,6 +116,54 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
+
+    # -- warm-start state ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """Moment estimates and step count, keyed by parameter name.
+
+        Unnamed parameter lists fall back to positional string keys;
+        either way :meth:`load_state_dict` refuses a key-set or shape
+        mismatch rather than misaligning moments.
+        """
+        keys = self._state_keys()
+        return {
+            "t": self._t,
+            "m": {key: m.copy() for key, m in zip(keys, self._m)},
+            "v": {key: v.copy() for key, v in zip(keys, self._v)},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; raises on any misalignment.
+
+        A grown or shuffled parameter set (e.g. a featurizer attached
+        after the state was saved) surfaces as missing/unexpected keys —
+        never as moments silently applied to the wrong parameters.
+        """
+        keys = self._state_keys()
+        saved = set(state["m"])
+        if set(state["v"]) != saved:
+            raise ValueError("corrupt optimizer state: m/v key sets differ")
+        current = set(keys)
+        if saved != current:
+            missing = sorted(current - saved)
+            unexpected = sorted(saved - current)
+            raise ValueError(
+                "optimizer state does not match the current parameter set "
+                f"(missing={missing} unexpected={unexpected}); the model's "
+                "parameters changed since the state was saved — rebuild the "
+                "optimizer instead of warm-starting"
+            )
+        for key, param in zip(keys, self.parameters):
+            for slot, name in ((state["m"], "m"), (state["v"], "v")):
+                value = np.asarray(slot[key], dtype=np.float64)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"optimizer state shape mismatch for {key!r} ({name}): "
+                        f"{value.shape} vs parameter {param.data.shape}"
+                    )
+        self._m = [np.array(state["m"][key], dtype=np.float64) for key in keys]
+        self._v = [np.array(state["v"][key], dtype=np.float64) for key in keys]
+        self._t = int(state["t"])
 
     def step(self) -> None:
         self._t += 1

@@ -1,33 +1,69 @@
 """Model checkpointing: save/load ``Module`` state dicts as ``.npz``.
 
 MLA (Algorithm 1) ships the pre-trained (S)+(T) modules from the cloud
-provider to users; this module provides that transport format.
+provider to users; this module provides that transport format.  Full
+MTMLF-QO checkpoints (config + featurizers + optimizer state) live in
+:mod:`repro.core.checkpoint` and build on the same primitives.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "resolve_npz_path", "atomic_savez"]
 
 
-def save_module(module: Module, path: str) -> None:
-    """Persist a module's parameters to ``path`` (.npz appended if missing)."""
-    state = module.state_dict()
+def resolve_npz_path(path: str) -> str:
+    """The on-disk path a ``.npz`` save actually produces.
+
+    ``np.savez`` appends ``.npz`` when missing; applying the same rule on
+    both the save and load side keeps the two symmetric.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    return path
+
+
+def atomic_savez(path: str, arrays: dict[str, np.ndarray]) -> str:
+    """Write ``arrays`` to ``path`` atomically; return the resolved path.
+
+    The archive is written to a temporary file in the target directory,
+    flushed and fsynced, then moved into place with ``os.replace`` — a
+    crash mid-save can never leave a truncated file at ``path``.
+    """
+    path = resolve_npz_path(path)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **state)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # A file object suppresses np.savez's implicit ".npz" suffix,
+            # so the temporary file's name is exactly tmp_path.
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def save_module(module: Module, path: str) -> str:
+    """Persist a module's parameters; returns the resolved ``.npz`` path."""
+    return atomic_savez(path, module.state_dict())
 
 
 def load_module(module: Module, path: str) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``."""
-    if not path.endswith(".npz"):
-        path = path + ".npz"
-    with np.load(path) as archive:
+    with np.load(resolve_npz_path(path)) as archive:
         state = {key: archive[key] for key in archive.files}
     module.load_state_dict(state)
     return module

@@ -26,6 +26,7 @@ to direct ``predict_join_orders`` calls — the parity suite
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict, deque
@@ -111,6 +112,12 @@ class OptimizerService:
         self._nonempty = threading.Condition(self._mutex)
         self._running = False
         self._drainer: threading.Thread | None = None
+        # Bumped by swap_model and embedded in every cache key: model
+        # `version` counters are per-instance, so two independently built
+        # models can share a version number — the epoch guarantees a
+        # post-swap request can never be answered from the pre-swap
+        # model's cache entries even then.
+        self._epoch = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "OptimizerService":
@@ -152,20 +159,77 @@ class OptimizerService:
         """Freeze the live counters into a :class:`ServingReport`."""
         return self.stats.snapshot(queue_depth=self.queue_depth, cache=self.cache)
 
+    # -- model lifecycle -----------------------------------------------
+    def swap_model(self, model_or_path, databases=None):
+        """Hot-swap the serving model without stopping the service.
+
+        ``model_or_path`` is either a ready :class:`MTMLFQO` (with a
+        featurizer attached for this service's database) or a checkpoint
+        path, loaded via :func:`repro.core.checkpoint.load_checkpoint`
+        (``databases`` defaults to every database the currently serving
+        model holds a featurizer for — checkpoints of multi-database
+        models hot-swap without re-supplying handles, as long as the
+        current model already knows those databases).
+
+        Protocol (DESIGN.md "Model lifecycle"): the replacement session
+        is built and validated *before* the switch; the switch itself is
+        one atomic update of ``(session, epoch)`` under the service
+        mutex.  Batches already handed to the model finish on the old
+        session — they captured it at batch formation — so no queued or
+        in-flight request is lost or duplicated; requests drained after
+        the switch decode on the new model.  The bumped epoch retires
+        every cached plan: a post-swap request can never be answered
+        from the pre-swap cache, even if both models share a ``version``
+        counter value.  Returns the new serving model.
+        """
+        if isinstance(model_or_path, (str, os.PathLike)):
+            from ..core.checkpoint import load_checkpoint
+
+            if databases is None:
+                databases = {
+                    name: featurizer.db
+                    for name, featurizer in self.session.model.featurizers.items()
+                }
+            new_model = load_checkpoint(model_or_path, databases=databases)
+        else:
+            new_model = model_or_path
+        # Validates the featurizer and pins eval mode before the switch;
+        # a bad replacement raises here and the old model keeps serving.
+        new_session = new_model.inference_session(self.db_name)
+        with self._mutex:
+            self.session = new_session
+            self._epoch += 1
+        # Pre-swap entries are unreachable (their keys carry the old
+        # epoch); dropping them returns the LRU's full capacity to the
+        # new model while it is coldest.  An in-flight pre-swap batch may
+        # re-insert a few old-epoch entries after this — dead weight
+        # bounded by one batch, evicted by normal churn.
+        self.cache.clear()
+        self.stats.note_swap()
+        return new_model
+
     # -- request path --------------------------------------------------
+    def _serving_state(self) -> tuple:
+        """Atomic read of the ``(session, epoch)`` pair swap_model writes."""
+        with self._mutex:
+            return self.session, self._epoch
+
     def request_key(self, labeled: LabeledQuery) -> tuple:
         """The structural identity of a request (the plan-cache key).
 
         Combines the query signature (tables, joins, filters) with the
         initial plan's signature — ``predict_join_orders`` encodes the
         initial plan, so two requests may only share a cached order when
-        *both* halves match — plus the service's decode policy and the
+        *both* halves match — plus the service's decode policy, the
         model's :attr:`version` (bumped by ``attach_featurizer`` and the
-        trainers), so orders decoded with superseded weights can never
-        be served after the model changes.
+        trainers), and the service's swap epoch, so orders decoded with
+        superseded weights can never be served after the model changes
+        or is hot-swapped.
         """
+        session, epoch = self._serving_state()
         return (
-            self.session.model.version,
+            epoch,
+            session.model.version,
             self.db_name,
             query_signature(labeled.query),
             plan_signature(labeled.plan),
@@ -235,8 +299,13 @@ class OptimizerService:
                     self._nonempty.wait(remaining)
                 take = min(self.config.max_batch_size, len(self._queue))
                 batch = [self._queue.popleft() for _ in range(take)]
+                # Pin the serving session at batch formation: a
+                # swap_model landing while this batch decodes must not
+                # move it to the new model mid-flight (the in-flight
+                # batch finishes on the model it started on).
+                session = self.session
             try:
-                self._process_batch(batch)
+                self._process_batch(batch, session)
             except BaseException as error:
                 # The drain thread must survive anything — a dead drainer
                 # would leave a zombie service that accepts requests and
@@ -245,7 +314,8 @@ class OptimizerService:
                     if not request.done.is_set():
                         request.fail(error)
 
-    def _process_batch(self, batch: list[_Request]) -> None:
+    def _process_batch(self, batch: list[_Request], session=None) -> None:
+        session = session or self.session
         # 0. Drop requests whose waiter already timed out and left.
         batch = [request for request in batch if not request.abandoned]
         if not batch:
@@ -296,29 +366,30 @@ class OptimizerService:
         # 4. One coalesced batched decode for every distinct survivor.
         items = [requests[0].labeled for _, requests in runnable]
         try:
-            orders = self.session.predict_join_orders(
+            orders = session.predict_join_orders(
                 items,
                 beam_width=self.config.beam_width,
                 enforce_legality=self.config.enforce_legality,
                 rerank_with_cost=self.config.rerank_with_cost,
             )
         except BaseException:
-            self._serve_individually(runnable)
+            self._serve_individually(runnable, session)
             return
         for (key, requests), order in zip(runnable, orders):
             self.cache.put(key, order)
             for request in requests:
                 request.fulfill(order)
 
-    def _serve_individually(self, runnable: list[tuple[tuple, list[_Request]]]) -> None:
+    def _serve_individually(self, runnable: list[tuple[tuple, list[_Request]]], session=None) -> None:
         """Fallback after a failed batch: isolate the offending request.
 
         Each distinct query is retried solo so an error poisons only its
         own requesters; the healthy rest of the batch still gets orders.
         """
+        session = session or self.session
         for key, requests in runnable:
             try:
-                order = self.session.predict_join_orders(
+                order = session.predict_join_orders(
                     [requests[0].labeled],
                     beam_width=self.config.beam_width,
                     enforce_legality=self.config.enforce_legality,

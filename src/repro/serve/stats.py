@@ -36,6 +36,7 @@ class ServingReport:
     batched_requests: int
     model_calls: int          # queries actually sent through the model
     max_batch: int
+    swaps: int                # live model hot-swaps performed
     queue_depth: int
     cache_entries: int
     elapsed_s: float
@@ -75,6 +76,7 @@ class ServiceStats:
         self.batched_requests = 0
         self.model_calls = 0
         self.max_batch = 0
+        self.swaps = 0
         self._first_request_at: float | None = None
         self._last_done_at: float | None = None
 
@@ -101,6 +103,10 @@ class ServiceStats:
     def note_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def note_swap(self) -> None:
+        with self._lock:
+            self.swaps += 1
 
     def note_batch(self, num_requests: int, num_model_queries: int, num_coalesced: int) -> None:
         with self._lock:
@@ -130,6 +136,7 @@ class ServiceStats:
                 batched_requests=self.batched_requests,
                 model_calls=self.model_calls,
                 max_batch=self.max_batch,
+                swaps=self.swaps,
                 queue_depth=queue_depth,
                 cache_entries=len(cache) if cache is not None else 0,
                 elapsed_s=elapsed,

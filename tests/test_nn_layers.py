@@ -136,6 +136,143 @@ class TestModuleMechanics:
         model.train()
         assert model.steps[0].training
 
+    def test_save_load_path_symmetric_and_returned(self, tmp_path):
+        """np.savez appends .npz; save and load must resolve identically."""
+        a = nn.MLP([3, 4, 2], rng=np.random.default_rng(1))
+        written = nn.save_module(a, str(tmp_path / "ckpt"))
+        assert written == str(tmp_path / "ckpt.npz")
+        assert (tmp_path / "ckpt.npz").exists()
+        # Saving to an explicit .npz path must not produce ckpt.npz.npz.
+        explicit = nn.save_module(a, str(tmp_path / "other.npz"))
+        assert explicit == str(tmp_path / "other.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz", "other.npz"]
+        # Loading resolves the same way from either spelling.
+        for spec in ("ckpt", "ckpt.npz"):
+            b = nn.MLP([3, 4, 2], rng=np.random.default_rng(9))
+            nn.load_module(b, str(tmp_path / spec))
+            x = nn.Tensor(RNG.normal(size=(2, 3)))
+            np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_save_module_atomic_no_tmp_leftovers(self, tmp_path):
+        a = nn.Linear(3, 3, rng=np.random.default_rng(0))
+        nn.save_module(a, str(tmp_path / "m"))
+        nn.save_module(a, str(tmp_path / "m"))  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["m.npz"]
+
+
+class _DictHolder(nn.Module):
+    """Regression rig: sub-modules and parameters stored in dicts."""
+
+    def __init__(self):
+        super().__init__()
+        self.blocks = {
+            "beta": nn.Linear(2, 2, rng=np.random.default_rng(1)),
+            "alpha": nn.Dropout(0.5),
+        }
+        self.extras = {"scale": nn.Parameter(np.ones(3))}
+
+
+class TestDictSubmodules:
+    """Modules stored in dict attributes must be traversed like lists
+    (they were silently skipped before, so dict-held weights were never
+    saved and never switched between train/eval)."""
+
+    def test_named_parameters_traverses_dicts(self):
+        holder = _DictHolder()
+        names = [n for n, _ in holder.named_parameters()]
+        assert names == ["blocks.beta.weight", "blocks.beta.bias", "extras.scale"]
+
+    def test_dict_iteration_order_is_sorted_not_insertion(self):
+        holder = _DictHolder()  # inserts "beta" before "alpha"
+        reordered = _DictHolder()
+        reordered.blocks = dict(sorted(holder.blocks.items()))
+        assert [n for n, _ in holder.named_parameters()] == [
+            n for n, _ in reordered.named_parameters()
+        ]
+
+    def test_state_dict_roundtrip_through_dicts(self):
+        a, b = _DictHolder(), _DictHolder()
+        a.blocks["beta"].weight.data[:] = 7.0
+        a.extras["scale"].data[:] = -2.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.blocks["beta"].weight.data, a.blocks["beta"].weight.data)
+        np.testing.assert_array_equal(b.extras["scale"].data, a.extras["scale"].data)
+
+    def test_set_mode_reaches_dict_submodules(self):
+        holder = _DictHolder()
+        holder.eval()
+        assert not holder.blocks["alpha"].training
+        holder.train()
+        assert holder.blocks["alpha"].training
+
+    def test_database_featurizer_uses_base_traversal(self):
+        """The (F) module's encoders dict is covered by the base class."""
+        from repro.core import DatabaseFeaturizer, ModelConfig
+        from repro.datagen import generate_database
+
+        db = generate_database(seed=1, num_tables=3, row_range=(20, 40), attr_range=(2, 2))
+        feat = DatabaseFeaturizer(db, ModelConfig(d_model=16, num_heads=2, encoder_layers=1))
+        names = [n for n, _ in feat.named_parameters()]
+        assert any(n.startswith("column_embedding.") for n in names)
+        for table in db.table_names:
+            assert any(n.startswith(f"encoders.{table}.") for n in names)
+        feat.eval()
+        assert all(not enc.training for enc in feat.encoders.values())
+
+
+class TestOptimizerStateDict:
+    """Adam warm-start state is keyed by parameter name, never position."""
+
+    @staticmethod
+    def _fit_step(opt, params):
+        for p in params:
+            p.grad = np.full_like(p.data, 0.25)
+        opt.step()
+
+    def test_state_roundtrip_produces_identical_steps(self):
+        a_params = [nn.Parameter(np.zeros(3)), nn.Parameter(np.ones((2, 2)))]
+        b_params = [nn.Parameter(np.zeros(3)), nn.Parameter(np.ones((2, 2)))]
+        a = nn.Adam([("x", a_params[0]), ("y", a_params[1])], lr=1e-2)
+        b = nn.Adam([("x", b_params[0]), ("y", b_params[1])], lr=1e-2)
+        for _ in range(3):
+            self._fit_step(a, a_params)
+        b.load_state_dict(a.state_dict())
+        assert b._t == a._t
+        for pa, pb in zip(a_params, b_params):  # weights travel separately
+            pb.data = pa.data.copy()
+        self._fit_step(a, a_params)
+        self._fit_step(b, b_params)
+        for pa, pb in zip(a_params, b_params):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_grown_parameter_set_raises_clear_error(self):
+        """The attach_featurizer scenario: state saved before the set grew
+        must refuse to load, not silently misalign by position."""
+        base = [("shared.w", nn.Parameter(np.zeros(2)))]
+        saved = nn.Adam(base, lr=1e-2).state_dict()
+        grown = nn.Adam(
+            [("featurizer.emb", nn.Parameter(np.zeros(4)))] + base, lr=1e-2
+        )
+        with pytest.raises(ValueError, match="missing=\\['featurizer.emb'\\]"):
+            grown.load_state_dict(saved)
+
+    def test_positional_fallback_detects_mismatch(self):
+        saved = nn.Adam([nn.Parameter(np.zeros(2))]).state_dict()
+        grown = nn.Adam([nn.Parameter(np.zeros(2)), nn.Parameter(np.zeros(3))])
+        with pytest.raises(ValueError, match="does not match"):
+            grown.load_state_dict(saved)
+
+    def test_shape_mismatch_raises(self):
+        saved = nn.Adam([("w", nn.Parameter(np.zeros(2)))]).state_dict()
+        other = nn.Adam([("w", nn.Parameter(np.zeros(5)))])
+        with pytest.raises(ValueError, match="shape mismatch"):
+            other.load_state_dict(saved)
+
+    def test_duplicate_names_rejected(self):
+        p = nn.Parameter(np.zeros(1))
+        with pytest.raises(ValueError, match="duplicate"):
+            nn.Adam([("w", p), ("w", nn.Parameter(np.zeros(1)))])
+
 
 class TestAttention:
     def test_output_shape(self):

@@ -143,6 +143,106 @@ class TestServeParity:
         assert served == direct
 
 
+class TestHotSwap:
+    @pytest.fixture()
+    def model_b(self, db, featurizer, labeled):
+        """A second model with visibly different weights (briefly trained)."""
+        other = MTMLFQO(SMALL)
+        other.attach_featurizer(db.name, featurizer)
+        JointTrainer(other).train(
+            [(db.name, item) for item in labeled], epochs=2, batch_size=4
+        )
+        return other
+
+    def test_swap_serves_new_model_and_invalidates_cache(self, db, model, model_b, labeled):
+        direct_a = model.predict_join_orders(db.name, labeled)
+        direct_b = model_b.predict_join_orders(db.name, labeled)
+        assert direct_a != direct_b  # the swap must be observable
+        with OptimizerService(model, db.name) as service:
+            pre = [service.optimize(item) for item in labeled]
+            assert pre == direct_a
+            returned = service.swap_model(model_b)
+            assert returned is model_b
+            post = [service.optimize(item) for item in labeled]
+        assert post == direct_b
+        assert service.report().swaps == 1
+
+    def test_equal_version_counters_cannot_serve_stale_cache(self, db, model, model_b, labeled):
+        """The acceptance criterion's nastiest corner: `version` counters
+        are per-instance, so two models can share one.  The service's
+        swap epoch must still retire every pre-swap cache entry."""
+        model_b.restore_version(model.version)
+        assert model_b.version == model.version
+        direct_b = model_b.predict_join_orders(db.name, labeled)
+        with OptimizerService(model, db.name) as service:
+            pre = [service.optimize(item) for item in labeled]  # fills the cache
+            hits_before = service.report().cache_hits
+            service.swap_model(model_b)
+            assert len(service.cache) == 0  # dead pre-swap entries dropped
+            post = [service.optimize(item) for item in labeled]
+            assert service.report().cache_hits == hits_before  # all forced misses
+        assert post == direct_b
+        assert pre != post
+
+    def test_swap_from_checkpoint_path(self, db, model, model_b, labeled, tmp_path):
+        from repro.core import save_checkpoint
+
+        path = save_checkpoint(model_b, str(tmp_path / "replacement"))
+        direct_b = model_b.predict_join_orders(db.name, labeled)
+        with OptimizerService(model, db.name) as service:
+            service.optimize(labeled[0])
+            loaded = service.swap_model(path)  # databases default to the served DB
+            assert loaded is not model_b  # a fresh instance from disk
+            post = [service.optimize(item) for item in labeled]
+        assert post == direct_b
+
+    def test_bad_replacement_leaves_old_model_serving(self, db, model, labeled):
+        direct_a = model.predict_join_orders(db.name, labeled)
+        with OptimizerService(model, db.name) as service:
+            with pytest.raises(KeyError, match="no featurizer"):
+                service.swap_model(MTMLFQO(SMALL))  # no (F) for this database
+            assert service.report().swaps == 0
+            assert [service.optimize(item) for item in labeled] == direct_a
+
+    def test_swap_during_concurrent_traffic_loses_nothing(self, db, model, model_b, labeled):
+        """Clients hammering optimize() across a swap all get exactly one
+        answer, each bit-identical to one of the two models' direct
+        results; traffic after the swap is all new-model."""
+        direct_a = model.predict_join_orders(db.name, labeled)
+        direct_b = model_b.predict_join_orders(db.name, labeled)
+        config = ServeConfig(max_batch_size=4, max_wait_ms=2.0)
+        rounds = 6
+        responses: dict[tuple[int, int], list[str]] = {}
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        with OptimizerService(model, db.name, config) as service:
+            def client(slot):
+                try:
+                    for round_index in range(rounds):
+                        item = labeled[(slot + round_index) % len(labeled)]
+                        order = service.optimize(item)
+                        with lock:
+                            responses[(slot, round_index)] = (
+                                (slot + round_index) % len(labeled), order)
+                except BaseException as error:
+                    errors.append(error)
+
+            threads = [threading.Thread(target=client, args=(slot,)) for slot in range(16)]
+            for thread in threads:
+                thread.start()
+            service.swap_model(model_b)  # lands mid-traffic
+            for thread in threads:
+                thread.join()
+            post = [service.optimize(item) for item in labeled]
+
+        assert not errors, errors
+        assert len(responses) == 16 * rounds  # exactly one answer each
+        for index, order in responses.values():
+            assert order in (direct_a[index], direct_b[index])
+        assert post == direct_b  # after the swap: new model only
+
+
 class TestRequestLifecycle:
     def test_not_started_raises(self, db, model, labeled):
         service = OptimizerService(model, db.name)

@@ -199,6 +199,63 @@ class TestServiceUnderStress:
         assert report.completed == completed
         assert report.rejected == rejected
 
+    def test_repeated_hot_swaps_under_load(self, db, featurizer, pool):
+        """16 clients hammer the service while the model is hot-swapped
+        back and forth.  Every request gets exactly one answer, every
+        answer is one of the two models' bit-exact direct results, and
+        traffic after the final swap is served by the final model only
+        (no stale pre-swap plans, no pre-swap cache hits)."""
+        from repro.core import JointTrainer
+
+        model_a = MTMLFQO(SMALL)
+        model_a.attach_featurizer(db.name, featurizer)
+        model_b = MTMLFQO(SMALL)
+        model_b.attach_featurizer(db.name, featurizer)
+        JointTrainer(model_b).train(
+            [(db.name, item) for item in pool], epochs=2, batch_size=4
+        )
+        direct_a = model_a.predict_join_orders(db.name, pool, beam_width=2)
+        direct_b = model_b.predict_join_orders(db.name, pool, beam_width=2)
+        assert direct_a != direct_b
+
+        config = ServeConfig(max_batch_size=8, max_wait_ms=1.0, plan_cache_size=5, beam_width=2)
+        num_clients, rounds, num_swaps = 16, 20, 4
+        answers: list[list[tuple[int, list[str]]]] = [[] for _ in range(num_clients)]
+        errors: list[BaseException] = []
+
+        with OptimizerService(model_a, db.name, config) as service:
+            def client(slot):
+                rng = random.Random(slot)
+                try:
+                    for _ in range(rounds):
+                        index = rng.randrange(len(pool))
+                        answers[slot].append((index, service.optimize(pool[index])))
+                except BaseException as error:
+                    errors.append(error)
+
+            threads = [threading.Thread(target=client, args=(slot,)) for slot in range(num_clients)]
+            for thread in threads:
+                thread.start()
+            for swap_index in range(num_swaps):
+                threading.Event().wait(0.01)
+                service.swap_model(model_b if swap_index % 2 == 0 else model_a)
+            for thread in threads:
+                thread.join()
+            final = model_b if (num_swaps - 1) % 2 == 0 else model_a
+            final_direct = direct_b if final is model_b else direct_a
+            post = [service.optimize(item) for item in pool]
+            report = service.report()
+
+        assert not errors, errors
+        received = sum(len(slot_answers) for slot_answers in answers)
+        assert received == num_clients * rounds  # no lost or duplicated responses
+        for slot_answers in answers:
+            for index, order in slot_answers:
+                assert order in (direct_a[index], direct_b[index])
+        assert post == final_direct  # post-swap traffic: final model only
+        assert report.swaps == num_swaps
+        assert report.failed == 0 and report.rejected == 0
+
     def test_stop_drains_inflight_requests(self, db, featurizer, pool):
         """stop() answers everything already queued before returning."""
         model = MTMLFQO(SMALL)
