@@ -1,0 +1,334 @@
+"""Benchmark: adapt-while-serving vs a frozen model under workload drift.
+
+The closed loop (``repro.serve.feedback`` + ``repro.serve.adaptation``,
+DESIGN.md "Online adaptation") is driven end to end:
+
+1. a model is trained on a **pre-drift** workload (2-3 table queries);
+2. 16 concurrent clients serve traffic that **drifts mid-run** — the
+   workload generator's templates shift to 4-6 table, LIKE-heavy
+   queries over a foreign-key-skewed database;
+3. the adaptive service executes served orders into experience, a
+   background ``AdaptationWorker`` warm-starts from the latest
+   checkpoint, fine-tunes, passes the join-order-regret regression
+   gate, and hot-swaps the serving model — all while traffic flows;
+4. a **frozen control** serves the bit-identical request stream on the
+   same starting weights with no feedback path.
+
+Scored by total *simulated* execution latency (the Table 2 metric) of
+every response in the drifted phase: the adaptive service must end
+strictly below the frozen control.
+
+A final adversarial phase poisons the experience buffer (worst sampled
+legal orders as labels) against a well-trained model and asserts the
+regression gate blocks the swap: ``swaps_rejected >= 1`` with the live
+model — and every served order — unchanged.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_online_adaptation.py           # full
+    PYTHONPATH=src python benchmarks/bench_online_adaptation.py --smoke   # CI
+
+Both modes assert the drift win and the poison block; ``--smoke``
+shortens the streams.  This file is a standalone script (not collected
+by the tier-1 pytest run) so the CI online-adaptation job can run it
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import random
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core import DatabaseFeaturizer, JointTrainer, ModelConfig, MTMLFQO
+from repro.core.checkpoint import load_checkpoint
+from repro.core.serializer import query_signature
+from repro.datagen import generate_database
+from repro.eval import format_serving_report, join_order_execution_time
+from repro.serve import (
+    AdaptationConfig,
+    AdaptationWorker,
+    ExperienceBuffer,
+    FeedbackCollector,
+    FeedbackConfig,
+    OptimizerService,
+    ServeConfig,
+)
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
+
+CONCURRENCY = 16
+MODEL = ModelConfig(d_model=32, num_heads=2, encoder_layers=1, shared_layers=1, decoder_layers=1)
+
+
+def build_fixture():
+    """Database, featurizer, pre-drift and post-drift labeled pools."""
+    db = generate_database(
+        seed=9, num_tables=6, row_range=(150, 600), attr_range=(2, 3),
+        fk_skew=1.3, fk_correlation=0.8,
+    )
+    featurizer = DatabaseFeaturizer(db, MODEL)
+    featurizer.train_encoders(queries_per_table=4, epochs=2)
+    labeler = QueryLabeler(db, max_intermediate_rows=2_000_000)
+    pre_gen = WorkloadGenerator(db, WorkloadConfig(min_tables=2, max_tables=3, seed=7))
+    post_gen = WorkloadGenerator(
+        db,
+        WorkloadConfig(min_tables=4, max_tables=6, seed=21,
+                       like_probability=0.6, filter_probability=0.8),
+    )
+    pre_pool = [i for i in labeler.label_many(pre_gen.generate(24), with_optimal_order=True)
+                if i.optimal_order is not None][:10]
+    post_pool = [i for i in labeler.label_many(post_gen.generate(30), with_optimal_order=True)
+                 if i.optimal_order is not None][:16]
+    assert len(pre_pool) >= 8 and len(post_pool) >= 12
+    return db, featurizer, pre_pool, post_pool
+
+
+def train_initial(db, featurizer, pre_pool, checkpoint_path):
+    """Train the pre-drift model once; both services load it bit-exactly."""
+    model = MTMLFQO(MODEL)
+    model.attach_featurizer(db.name, featurizer)
+    JointTrainer(model).train([(db.name, item) for item in pre_pool], epochs=4, batch_size=8)
+    from repro.core import save_checkpoint
+
+    return save_checkpoint(model, checkpoint_path)
+
+
+def drive(service, stream):
+    """Serve ``stream`` (list of (index, item)) from CONCURRENCY clients."""
+    work = list(enumerate(stream))
+    responses: dict[int, tuple[int, list[str]]] = {}
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def client():
+        while True:
+            with lock:
+                if not work:
+                    return
+                slot, (index, item) = work.pop()
+            try:
+                order = service.optimize(item)
+            except BaseException as error:  # surfaced to the caller
+                errors.append(error)
+                return
+            with lock:
+                responses[slot] = (index, order)
+
+    threads = [threading.Thread(target=client) for _ in range(CONCURRENCY)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return [responses[slot] for slot in sorted(responses)]
+
+
+def repeated_stream(pool, occurrences, seed):
+    stream = [(index, item) for index, item in enumerate(pool) for _ in range(occurrences)]
+    random.Random(seed).shuffle(stream)
+    return stream
+
+
+class LatencyLedger:
+    """Total simulated latency of responses; memoized per (query, order)."""
+
+    def __init__(self, db, pool):
+        self.db = db
+        self.pool = pool
+        self._memo: dict[tuple, float] = {}
+        self.total_ms = 0.0
+        self.responses = 0
+
+    def record(self, index, order):
+        key = (index, tuple(order))
+        if key not in self._memo:
+            self._memo[key] = join_order_execution_time(self.db, self.pool[index], order)
+        self.total_ms += self._memo[key]
+        self.responses += 1
+
+
+def run_drift(db, featurizer, checkpoint, pre_pool, post_pool, adaptive, occurrences):
+    """One serving run over the drifting stream; returns the ledger + report."""
+    model = load_checkpoint(checkpoint, databases={db.name: db})
+    service = OptimizerService(model, db.name, ServeConfig(max_batch_size=CONCURRENCY, max_wait_ms=2.0))
+    pre_ledger = LatencyLedger(db, pre_pool)
+    post_ledger = LatencyLedger(db, post_pool)
+    collector = worker = None
+    swap_wait_s = 0.0
+    with service:
+        if adaptive:
+            # The buffer is a *rolling window* sized to the drifted pool:
+            # once the workload shifts, pre-drift experience ages out and
+            # the retrain sees only the regime it must adapt to.  The
+            # trigger threshold equals total distinct traffic, so exactly
+            # one deterministic cycle fires — after every query has been
+            # executed into experience.
+            collector = FeedbackCollector(
+                db,
+                FeedbackConfig(buffer_capacity=len(post_pool), max_intermediate_rows=2_000_000),
+            ).start()
+            service.attach_feedback(collector)
+            worker = AdaptationWorker(
+                service, db, collector.buffer,
+                AdaptationConfig(min_new_experience=len(pre_pool) + len(post_pool),
+                                 fine_tune_epochs=16, batch_size=8, poll_interval_s=0.05),
+            ).start()
+        # Phase 1: pre-drift traffic (both services are identical here).
+        for index, order in drive(service, repeated_stream(pre_pool, occurrences, seed=3)):
+            pre_ledger.record(index, order)
+        # Phase 2a: the workload drifts; the feedback path sees it.
+        for index, order in drive(service, repeated_stream(post_pool, occurrences, seed=4)):
+            post_ledger.record(index, order)
+        if adaptive:
+            # Let the loop finish one full collect -> retrain -> swap
+            # cycle (it runs concurrently with the traffic above).
+            collector.drain(timeout=120)
+            started = time.perf_counter()
+            while worker.counters()["swaps_accepted"] < 1:
+                if time.perf_counter() - started > 180:
+                    break
+                threading.Event().wait(0.05)
+            swap_wait_s = time.perf_counter() - started
+        # Phase 2b: drifted traffic continues (adapted weights serve it).
+        for index, order in drive(service, repeated_stream(post_pool, 2 * occurrences, seed=5)):
+            post_ledger.record(index, order)
+        report = service.report()
+        if adaptive:
+            worker.stop()
+            collector.stop()
+    return pre_ledger, post_ledger, report, swap_wait_s
+
+
+def run_poison(db, featurizer, post_pool, seed=0):
+    """Adversarial phase: poisoned experience must not reach production."""
+    model = MTMLFQO(MODEL)
+    model.attach_featurizer(db.name, featurizer)
+    JointTrainer(model).train([(db.name, item) for item in post_pool], epochs=8, batch_size=8)
+
+    def worst_legal_order(item, samples=12):
+        rng = random.Random(seed)
+        tables = list(item.query.tables)
+        worst, worst_ms, tried = None, -1.0, 0
+        for _ in range(200):
+            if tried >= samples:
+                break
+            order = tables[:]
+            rng.shuffle(order)
+            try:
+                ms = join_order_execution_time(db, item, order)
+            except ValueError:
+                continue
+            tried += 1
+            if ms > worst_ms:
+                worst, worst_ms = order, ms
+        return worst
+
+    with OptimizerService(model, db.name) as service:
+        live_model = service.session.model
+        before = [service.optimize(item) for item in post_pool]
+        buffer = ExperienceBuffer(64)
+        for item in post_pool:
+            poisoned = dataclasses.replace(item, optimal_order=worst_legal_order(item))
+            buffer.add(query_signature(item.query), poisoned)
+        worker = AdaptationWorker(
+            service, db, buffer,
+            AdaptationConfig(min_new_experience=8, fine_tune_epochs=16, batch_size=8),
+        )
+        swapped = worker.run_once()
+        unchanged = service.session.model is live_model
+        after = [service.optimize(item) for item in post_pool]
+        counters = worker.counters()
+        worker.stop()
+    return {
+        "swapped": swapped,
+        "model_unchanged": unchanged,
+        "orders_unchanged": after == before,
+        "swaps_rejected": counters["swaps_rejected"],
+        "gate": worker.last_gate,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI mode: shorter streams, same assertions (the scored "
+        "quantity is deterministic simulated latency, so the thresholds "
+        "do not flake on noisy shared runners)",
+    )
+    args = parser.parse_args(argv)
+    occurrences = 2 if args.smoke else 4
+
+    print(f"Online adaptation under workload drift ({CONCURRENCY} clients)")
+    print("-" * 64)
+    started = time.perf_counter()
+    db, featurizer, pre_pool, post_pool = build_fixture()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-adapt-") as tmp:
+        checkpoint = train_initial(db, featurizer, pre_pool, f"{tmp}/initial")
+        print(f"fixture: db {db.name!r}, {len(pre_pool)} pre-drift / "
+              f"{len(post_pool)} drifted queries  ({time.perf_counter() - started:.1f}s)")
+
+        frozen = run_drift(db, featurizer, checkpoint, pre_pool, post_pool,
+                           adaptive=False, occurrences=occurrences)
+        adaptive = run_drift(db, featurizer, checkpoint, pre_pool, post_pool,
+                             adaptive=True, occurrences=occurrences)
+
+    failed = False
+    rows = []
+    for name, (pre_ledger, post_ledger, report, swap_wait) in (
+        ("frozen", frozen), ("adaptive", adaptive),
+    ):
+        rows.append((name, pre_ledger, post_ledger, report, swap_wait))
+    print(f"\n[drift phase]  total simulated latency of served orders")
+    for name, pre_ledger, post_ledger, report, swap_wait in rows:
+        print(f"  {name:<10}{'pre-drift':<12}{pre_ledger.total_ms:>10.1f} ms"
+              f"   ({pre_ledger.responses} responses)")
+        print(f"  {'':<10}{'drifted':<12}{post_ledger.total_ms:>10.1f} ms"
+              f"   ({post_ledger.responses} responses)")
+    frozen_ms = frozen[1].total_ms
+    adaptive_ms = adaptive[1].total_ms
+    improvement = (frozen_ms - adaptive_ms) / frozen_ms if frozen_ms else 0.0
+    print(f"  {'win':<10}{'drifted':<12}{100 * improvement:>9.1f} %   (must be > 0)")
+    report = adaptive[2]
+    print()
+    print(format_serving_report(report, title="Adaptive service report"))
+
+    if frozen[0].total_ms != adaptive[0].total_ms:
+        print("FAIL: pre-drift phases diverge (identical weights must serve "
+              "identical orders)", file=sys.stderr)
+        failed = True
+    if report.swaps_accepted < 1:
+        print("FAIL: no adaptation cycle completed (no accepted swap)", file=sys.stderr)
+        failed = True
+    if adaptive_ms >= frozen_ms:
+        print(f"FAIL: adaptive {adaptive_ms:.1f} ms not strictly below "
+              f"frozen {frozen_ms:.1f} ms", file=sys.stderr)
+        failed = True
+
+    print("\n[poison phase]  deliberately-poisoned retrain vs the gate")
+    poison = run_poison(db, featurizer, post_pool)
+    gate = poison["gate"]
+    print(f"  swaps_rejected {poison['swaps_rejected']}   live model unchanged "
+          f"{poison['model_unchanged']}   orders unchanged {poison['orders_unchanged']}")
+    print(f"  gate: candidate {gate.candidate_ms:.2f} ms vs live {gate.live_ms:.2f} ms "
+          f"on {gate.validation_count} held-out queries")
+    if poison["swapped"] or poison["swaps_rejected"] < 1:
+        print("FAIL: the gate accepted a poisoned retrain", file=sys.stderr)
+        failed = True
+    if not (poison["model_unchanged"] and poison["orders_unchanged"]):
+        print("FAIL: poisoned retrain disturbed the live model", file=sys.stderr)
+        failed = True
+
+    print(f"\ntotal wall clock {time.perf_counter() - started:.1f}s")
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

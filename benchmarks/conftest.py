@@ -1,7 +1,7 @@
 """Shared fixtures for the benchmark suite.
 
 The experiment benchmarks reproduce the paper's tables at a reduced,
-CPU-friendly scale (see DESIGN.md section 5).  Training fixtures are
+CPU-friendly scale (see DESIGN.md "Benchmark scale").  Training fixtures are
 session-scoped so Table 1 and Table 2 benchmarks share one trained
 model set, as in the paper.
 """

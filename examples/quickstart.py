@@ -12,7 +12,9 @@ Runs the full pipeline end-to-end in under a minute:
 5. serve concurrent single-query traffic through the micro-batching
    optimizer service (``repro.serve``);
 6. checkpoint the full model to disk, restore it bit-exactly, and
-   warm-start further training from the saved optimizer moments.
+   warm-start further training from the saved optimizer moments;
+7. close the loop — collect execution feedback from served orders and
+   adapt the live model online behind a regression gate.
 
 Run:  python examples/quickstart.py
 """
@@ -131,8 +133,51 @@ def main() -> None:
         print(f"warm-started training continues: loss {result.final_loss:.3f} "
               f"-> {more.final_loss:.3f}")
 
-    print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction"
-          "\n       and examples/serve_demo.py for serving + live model hot-swap")
+    print("\n=== 7. Adapt while serving (execution feedback + gated retrain) ===")
+    # The paper's training data is harvested from *executed* plans — and
+    # a serving optimizer executes plans all day.  The feedback path
+    # turns served orders into labeled experience in the background; an
+    # AdaptationWorker warm-starts the trainer from the latest
+    # checkpoint, fine-tunes on that experience, and hot-swaps the live
+    # model only if join-order regret on a held-out slice does not
+    # worsen.  Here the workload drifts to bigger queries mid-serve.
+    from repro.serve import AdaptationConfig, AdaptationWorker, FeedbackCollector, FeedbackConfig
+
+    drifted_gen = WorkloadGenerator(
+        db, WorkloadConfig(min_tables=4, max_tables=6, seed=99, like_probability=0.6)
+    )
+    drifted = [item for item in QueryLabeler(db).label_many(
+        drifted_gen.generate(24), with_optimal_order=True) if item.optimal_order is not None][:12]
+    collector = FeedbackCollector(db, FeedbackConfig(buffer_capacity=64))
+    with OptimizerService(model, db.name) as service, collector:
+        service.attach_feedback(collector)
+        before = [service.optimize(item) for item in drifted]   # feedback flows
+        collector.drain(timeout=120)
+        worker = AdaptationWorker(
+            service, db, collector.buffer,
+            AdaptationConfig(min_new_experience=8, fine_tune_epochs=12),
+        )
+        swapped = worker.run_once()   # or worker.start() for the background loop
+        gate = worker.last_gate
+        print(f"collected {len(collector.buffer)} experiences from served orders")
+        if gate is None:
+            print("no gateable experience collected (all executions rejected): "
+                  f"{collector.rejection_reasons()}")
+        else:
+            print(f"regression gate: candidate {gate.candidate_ms:.2f} ms vs live "
+                  f"{gate.live_ms:.2f} ms on {gate.validation_count} held-out queries "
+                  f"-> {'swapped' if swapped else 'kept live model'}")
+        after = [service.optimize(item) for item in drifted]
+        report = service.report()
+        worker.stop()
+    changed = sum(a != b for a, b in zip(before, after))
+    print(f"post-adaptation orders changed on {changed}/{len(drifted)} drifted queries")
+    print(f"counters: {report.retrains} retrains, {report.swaps_accepted} accepted, "
+          f"{report.swaps_rejected} gate-rejected")
+
+    print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction,"
+          "\n       examples/serve_demo.py for serving + live model hot-swap, and"
+          "\n       benchmarks/bench_online_adaptation.py for the drift benchmark")
 
 
 if __name__ == "__main__":

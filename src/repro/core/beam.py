@@ -35,6 +35,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import DisconnectedQueryError
+
 from .. import nn
 from ..nn import functional as F
 
@@ -109,7 +111,7 @@ def require_connected(adjacency: np.ndarray, tables: list[str] | None = None) ->
     if len(components) > 1:
         render = (lambda p: tables[p]) if tables is not None else str
         rendered = "; ".join("{" + ", ".join(render(p) for p in c) + "}" for c in components)
-        raise ValueError(
+        raise DisconnectedQueryError(
             f"query join graph is disconnected — components: {rendered}; "
             "no legal join order exists (cross products are not supported)"
         )

@@ -9,7 +9,7 @@ from .cost_model import DEFAULT_COST_MODEL, CostModel, TimingAlignedCostModel
 from .executor import ExecutionLimitError, ExecutionResult, execute_plan
 from .operators import Intermediate, WorkReport, equi_join_positions, execute_join, execute_scan
 from .plan import JoinOp, PlanNode, ScanOp, join_node, left_deep_plan, scan_node
-from .timing import DEFAULT_TIMING, TimingModel
+from .timing import DEFAULT_TIMING, TimingModel, over_limit_penalty_ms
 
 __all__ = [
     "PlanNode",
@@ -31,4 +31,5 @@ __all__ = [
     "TimingAlignedCostModel",
     "TimingModel",
     "DEFAULT_TIMING",
+    "over_limit_penalty_ms",
 ]

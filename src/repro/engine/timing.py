@@ -20,7 +20,7 @@ import numpy as np
 
 from .operators import WorkReport
 
-__all__ = ["TimingModel", "DEFAULT_TIMING"]
+__all__ = ["TimingModel", "DEFAULT_TIMING", "over_limit_penalty_ms"]
 
 
 @dataclass(frozen=True)
@@ -58,3 +58,16 @@ class TimingModel:
 
 
 DEFAULT_TIMING = TimingModel()
+
+
+def over_limit_penalty_ms(max_intermediate_rows: int, timing: TimingModel = DEFAULT_TIMING) -> float:
+    """Simulated charge for a plan that blew the intermediate-row cap.
+
+    The moral equivalent of the paper's query timeouts: instead of
+    executing a pathological order to completion, charge it as if the
+    cap's worth of tuples had each been emitted and probed — strictly
+    worse than any order that stayed under the cap.  Shared by the
+    Table 2/3 harness and the online-adaptation regret gate so both
+    penalize runaway orders identically.
+    """
+    return max_intermediate_rows * (timing.emit_ms + timing.probe_ms)

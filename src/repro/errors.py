@@ -1,0 +1,21 @@
+"""Shared exception types that cut across subsystem boundaries.
+
+Kept dependency-free so any layer (storage, optimizer, core, serve) can
+raise or catch them without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DisconnectedQueryError"]
+
+
+class DisconnectedQueryError(ValueError):
+    """The query's join graph is disconnected: no complete join order
+    (without cross products) exists.
+
+    A :class:`ValueError` subclass so existing ``except ValueError``
+    call sites keep working, but distinct enough that policy code — the
+    workload labeler, the serving feedback path — can skip exactly this
+    well-understood condition instead of swallowing every ``ValueError``
+    (which silently hid genuine planner and connectivity bugs).
+    """

@@ -27,6 +27,7 @@ from ..core.meta import MetaLearner, MLAConfig
 from ..core.model import MTMLFQO
 from ..core.trainer import JointTrainer
 from ..engine.executor import ExecutionLimitError, execute_plan
+from ..engine.timing import over_limit_penalty_ms
 from ..optimizer.optimal import optimal_plan
 from ..optimizer.planner import PostgresStylePlanner, plan_with_order
 from ..optimizer.selectivity import HistogramEstimator, TrueCardinalityOracle
@@ -113,9 +114,7 @@ def join_order_execution_time(
     try:
         result = execute_plan(plan, db, max_intermediate_rows=max_intermediate_rows)
     except ExecutionLimitError:
-        from ..engine.timing import DEFAULT_TIMING
-
-        return max_intermediate_rows * (DEFAULT_TIMING.emit_ms + DEFAULT_TIMING.probe_ms)
+        return over_limit_penalty_ms(max_intermediate_rows)
     return result.simulated_ms
 
 

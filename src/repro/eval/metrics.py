@@ -74,11 +74,16 @@ def latency_stats(samples) -> "LatencyStats | None":
     """Aggregate a latency sample; ``None`` for an empty one.
 
     Percentiles use the nearest-rank ("lower") method so every reported
-    figure is an actually observed latency, not an interpolation.
+    figure is an actually observed latency, not an interpolation.  NaN
+    samples are rejected (``ValueError``): a NaN would silently poison
+    the mean and make ``np.percentile`` order-dependent, so a recorder
+    that produced one has a bug worth surfacing.
     """
     values = np.asarray(list(samples), dtype=np.float64).reshape(-1)
     if values.size == 0:
         return None
+    if np.isnan(values).any():
+        raise ValueError(f"latency samples contain {int(np.isnan(values).sum())} NaN value(s)")
     p50, p95, p99 = np.percentile(values, [50, 95, 99], method="lower")
     return LatencyStats(
         count=int(values.size),

@@ -76,6 +76,20 @@ def format_serving_report(report: "ServingReport", title: str = "Optimizer servi
     lines.append(f"{'model calls':<22}{report.model_calls:>12,}")
     if report.swaps:
         lines.append(f"{'model hot-swaps':<22}{report.swaps:>12,}")
+    if report.timeout_near_misses:
+        lines.append(f"{'timeout near-misses':<22}{report.timeout_near_misses:>12,}")
+    if report.feedback_collected or report.feedback_deduped or report.feedback_rejected:
+        lines.append(
+            f"{'feedback experience':<22}{report.feedback_collected:>12,} collected"
+            f"  {report.feedback_deduped:,} deduped  {report.feedback_rejected:,} rejected"
+        )
+    if report.retrains or report.adaptation_failures:
+        lines.append(
+            f"{'online adaptation':<22}{report.retrains:>12,} retrains"
+            f"  {report.swaps_accepted:,} accepted  {report.swaps_rejected:,} gate-rejected"
+        )
+    if report.adaptation_failures:
+        lines.append(f"{'adaptation failures':<22}{report.adaptation_failures:>12,}")
     lines.append(
         f"{'plan cache':<22}{report.cache_hits:>12,} hits"
         f"  {report.cache_misses:,} misses"

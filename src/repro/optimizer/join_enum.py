@@ -13,6 +13,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..engine.cost_model import DEFAULT_COST_MODEL, CostModel
+from ..errors import DisconnectedQueryError
 from ..engine.plan import PlanNode, join_node, scan_node
 from ..sql.query import Query
 from .selectivity import CardinalityEstimator, _subset_connected
@@ -103,7 +104,7 @@ def dp_join_enumeration(
                 best[subset] = candidate
 
     if all_tables not in best:
-        raise ValueError("query join graph is disconnected: no complete plan exists")
+        raise DisconnectedQueryError("query join graph is disconnected: no complete plan exists")
     cost, plan = best[all_tables]
     return PlannedQuery(plan, cost, cards)
 
@@ -159,7 +160,7 @@ def greedy_join_order(
     while remaining:
         candidates = [t for t in sorted(remaining) if query.joins_between(joined, {t})]
         if not candidates:
-            raise ValueError("query join graph is disconnected")
+            raise DisconnectedQueryError("query join graph is disconnected")
         chosen = min(candidates, key=lambda t: card(frozenset(joined | {t})))
         subset = frozenset(joined | {chosen})
         predicates = query.joins_between(joined, {chosen})

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DisconnectedQueryError
+
 from ..sql.predicates import (
     BetweenPredicate,
     Comparison,
@@ -155,7 +157,7 @@ class TrueCardinalityOracle(CardinalityEstimator):
                     peel = candidate
                     break
             if peel is None:
-                raise ValueError(f"subset {sorted(subset)} is not connected in query joins")
+                raise DisconnectedQueryError(f"subset {sorted(subset)} is not connected in query joins")
             rest = subset - {peel}
             left = self._intermediate(query, rest)
             right = self._intermediate(query, frozenset([peel]))

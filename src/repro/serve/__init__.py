@@ -6,10 +6,20 @@ cache keyed by structural query/plan signatures, queue-depth
 backpressure, and per-request latency / throughput instrumentation
 (rendered by ``repro.eval.reporting.format_serving_report``).
 See DESIGN.md "Serving architecture".
+
+The online-adaptation layer closes the paper's learning loop:
+``OptimizerService.attach_feedback`` forwards served orders to a
+:class:`FeedbackCollector`, which executes them and fills a bounded,
+deduped :class:`ExperienceBuffer`; an :class:`AdaptationWorker`
+fine-tunes a warm-started trainer on that experience and hot-swaps the
+serving model only after a join-order-regret regression gate passes.
+See DESIGN.md "Online adaptation".
 """
 
+from .adaptation import AdaptationConfig, AdaptationWorker, GateResult
 from .cache import PlanCache
 from .config import ServeConfig
+from .feedback import ExperienceBuffer, FeedbackCollector, FeedbackConfig
 from .service import (
     OptimizerService,
     ServiceOverloadedError,
@@ -19,6 +29,12 @@ from .service import (
 from .stats import ServiceStats, ServingReport
 
 __all__ = [
+    "AdaptationConfig",
+    "AdaptationWorker",
+    "ExperienceBuffer",
+    "FeedbackCollector",
+    "FeedbackConfig",
+    "GateResult",
     "OptimizerService",
     "PlanCache",
     "ServeConfig",

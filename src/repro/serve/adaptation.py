@@ -1,0 +1,358 @@
+"""Guarded online adaptation: retrain on feedback, swap only if safe.
+
+:class:`AdaptationWorker` turns the experience gathered by
+:class:`repro.serve.feedback.FeedbackCollector` into live model updates
+without ever taking the service down — the paper's "keeps learning from
+the DBMS it serves" promise as a production loop:
+
+1. **collect** — wait until the buffer holds at least
+   ``min_new_experience`` experiences that were not seen at the last
+   retrain;
+2. **retrain** — warm-start a :class:`JointTrainer` from the latest
+   accepted checkpoint (model weights *and* Adam moments, so each cycle
+   continues the previous run) and fine-tune on the buffered
+   experience.  Training happens on a private model instance loaded
+   from disk: the serving model's weights are never touched;
+3. **gate** — decode join orders for a held-out validation slice with
+   both the live and the candidate model and execute them through
+   :mod:`repro.engine` (over-limit orders charged the shared timeout
+   penalty).  The candidate is accepted only if its join-order regret —
+   total simulated latency above the slice's best-known orders — does
+   not worsen the live model's;
+4. **swap** — on acceptance, persist a checkpoint (the next cycle's
+   warm-start point) and install the candidate via
+   :meth:`OptimizerService.swap_model`; the service's swap epoch retires
+   every cached pre-swap plan, so mid-adaptation traffic can never be
+   answered with a stale order.  On rejection the candidate (and its
+   checkpoint lineage) is discarded and the live model keeps serving.
+
+``retrains`` / ``swaps_accepted`` / ``swaps_rejected`` surface through
+:meth:`OptimizerService.report` and
+:func:`repro.eval.reporting.format_serving_report`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+
+from ..core.trainer import JointTrainer
+from ..eval.experiments import join_order_execution_time
+from ..optimizer.selectivity import HistogramEstimator
+from ..workload.labeler import LabeledQuery
+from .feedback import ExperienceBuffer
+
+__all__ = ["AdaptationConfig", "AdaptationWorker", "GateResult"]
+
+
+@dataclass
+class AdaptationConfig:
+    """Knobs of :class:`AdaptationWorker`.
+
+    Attributes
+    ----------
+    min_new_experience:
+        Unseen-experience threshold that triggers a retrain cycle.
+    fine_tune_epochs / batch_size / learning_rate / seed:
+        Passed to the warm-started :class:`JointTrainer` (``None``
+        learning rate keeps the checkpointed one).
+    validation_fraction:
+        Share of the experience snapshot (most recent entries, at least
+        one) held out from fine-tuning and used by the regression gate.
+    regret_tolerance_ms:
+        Slack the gate allows the candidate over the live model.  0 is
+        the strict "must not worsen" rule.
+    max_intermediate_rows:
+        Execution bound when the gate replays validation orders.
+    poll_interval_s:
+        How often the background loop rechecks the buffer.
+    checkpoint_dir:
+        Where warm-start checkpoints live; a private temp dir (removed
+        on ``stop``) when None.
+    """
+
+    min_new_experience: int = 8
+    fine_tune_epochs: int = 4
+    batch_size: int = 8
+    learning_rate: float | None = None
+    seed: int = 0
+    validation_fraction: float = 0.25
+    regret_tolerance_ms: float = 0.0
+    max_intermediate_rows: int = 2_000_000
+    poll_interval_s: float = 0.25
+    checkpoint_dir: str | None = None
+
+    def __post_init__(self):
+        if self.min_new_experience < 1:
+            raise ValueError(f"min_new_experience must be >= 1, got {self.min_new_experience}")
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise ValueError(
+                f"validation_fraction must be in (0, 1), got {self.validation_fraction}"
+            )
+        if self.regret_tolerance_ms < 0:
+            raise ValueError(f"regret_tolerance_ms must be >= 0, got {self.regret_tolerance_ms}")
+
+
+@dataclass
+class GateResult:
+    """Outcome of one regression-gate evaluation."""
+
+    accepted: bool
+    validation_count: int
+    live_ms: float
+    candidate_ms: float
+    best_ms: float
+
+    @property
+    def live_regret_ms(self) -> float:
+        return self.live_ms - self.best_ms
+
+    @property
+    def candidate_regret_ms(self) -> float:
+        return self.candidate_ms - self.best_ms
+
+
+class AdaptationWorker:
+    """Background collect → retrain → gate → swap loop over one service.
+
+    Use as a context manager (or :meth:`start` / :meth:`stop`) for the
+    autonomous loop, or call :meth:`run_once` directly for a
+    deterministic, synchronous cycle (tests, notebooks)::
+
+        worker = AdaptationWorker(service, db, collector.buffer, config)
+        with collector, worker:
+            ... serve traffic; the model adapts in the background ...
+    """
+
+    def __init__(self, service, db, buffer: ExperienceBuffer, config: AdaptationConfig | None = None,
+                 databases: dict | None = None):
+        self.service = service
+        self.db = db
+        self.buffer = buffer
+        self.config = config or AdaptationConfig()
+        # Databases handed to checkpoint load: the serving model may hold
+        # featurizers for more databases than the one being served.
+        # Copied: the served database is added without mutating the
+        # caller's mapping.
+        self.databases = dict(databases) if databases else {}
+        self.databases.setdefault(db.name, db)
+        self._estimator = HistogramEstimator(db)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._consumed = 0              # buffer.added seen at last retrain
+        self._latest_checkpoint: str | None = None
+        self._own_checkpoint_dir: str | None = None
+        self.retrains = 0
+        self.swaps_accepted = 0
+        self.swaps_rejected = 0
+        # Cycles that died on infrastructure (load/training error), NOT
+        # gate rejections — kept apart so `swaps_rejected` keeps meaning
+        # "the regression gate blocked a candidate".
+        self.cycles_failed = 0
+        self.last_gate: GateResult | None = None
+        # Surface this worker's counters through service.report().
+        service.adaptation = self
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "AdaptationWorker":
+        if self._thread is not None:
+            raise RuntimeError("adaptation worker already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"adaptation-{self.db.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Signal the loop, join the thread, drop a private temp dir."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self._own_checkpoint_dir is not None:
+            shutil.rmtree(self._own_checkpoint_dir, ignore_errors=True)
+            self._own_checkpoint_dir = None
+            self._latest_checkpoint = None
+
+    def __enter__(self) -> "AdaptationWorker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- loop ----------------------------------------------------------
+    def pending_experience(self) -> int:
+        """Unique experiences added since the last retrain cycle."""
+        return self.buffer.added - self._consumed
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self.pending_experience() >= self.config.min_new_experience:
+                try:
+                    self.run_once()
+                except BaseException:
+                    # The loop must survive anything (a failed load, a
+                    # transient training error).  run_once only marks
+                    # experience consumed on completion, so the trigger
+                    # credit is preserved and the retry trains on the
+                    # same data — with a backoff so a persistent failure
+                    # (unwritable checkpoint dir) cannot hot-spin
+                    # training cycles.
+                    with self._lock:
+                        self.cycles_failed += 1
+                    self._stop.wait(max(1.0, 20 * self.config.poll_interval_s))
+            else:
+                self._stop.wait(self.config.poll_interval_s)
+
+    # -- one adaptation cycle ------------------------------------------
+    def _checkpoint_dir(self) -> str:
+        if self.config.checkpoint_dir is not None:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+            return self.config.checkpoint_dir
+        if self._own_checkpoint_dir is None:
+            self._own_checkpoint_dir = tempfile.mkdtemp(prefix="repro-adapt-")
+        return self._own_checkpoint_dir
+
+    def _base_checkpoint(self) -> str:
+        """The warm-start point: latest accepted, else the live model."""
+        if self._latest_checkpoint is None:
+            live = self.service._serving_state()[0].model
+            path = os.path.join(self._checkpoint_dir(), "base")
+            # JointTrainer(live) only builds an Adam over the live
+            # parameters (fresh moments); it never steps them here.
+            self._latest_checkpoint = JointTrainer(live).save_checkpoint(path)
+        return self._latest_checkpoint
+
+    def _split(self, experience: list[LabeledQuery]) -> tuple[list[LabeledQuery], list[LabeledQuery]]:
+        """Deterministic (train, validation) split of the experience.
+
+        The buffer's insertion order depends on traffic arrival (thread
+        scheduling), so the snapshot is first sorted by the query's SQL
+        text: given the same experience *set*, every cycle fine-tunes
+        and gates on exactly the same slices no matter how requests
+        interleaved — adaptation outcomes are reproducible.
+        """
+        experience = sorted(experience, key=lambda item: item.query.to_sql())
+        k = max(1, round(len(experience) * self.config.validation_fraction))
+        if k >= len(experience):
+            # Too little experience to hold anything out: gate on the
+            # training slice (better than no gate at all).
+            return list(experience), list(experience)
+        return experience[:-k], experience[-k:]
+
+    def run_once(self) -> bool:
+        """One collect → retrain → gate → swap cycle; True iff swapped."""
+        experience, added_at_snapshot = self.buffer.snapshot_with_added()
+        if not experience:
+            return False
+        train_slice, val_slice = self._split(experience)
+        live = self.service._serving_state()[0].model
+
+        trainer = JointTrainer.warm_start(
+            self._base_checkpoint(), self.databases, learning_rate=self.config.learning_rate
+        )
+        with self._lock:
+            self.retrains += 1
+        # Seed varies per cycle: a retry after a gate rejection (with
+        # more experience) explores a different batch order instead of
+        # replaying the rejected run's schedule.
+        trainer.train(
+            [(self.db.name, item) for item in train_slice],
+            epochs=self.config.fine_tune_epochs,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed + self.retrains - 1,
+        )
+        candidate = trainer.model
+
+        gate = self._evaluate_gate(live, candidate, val_slice)
+        self.last_gate = gate
+        if not gate.accepted:
+            # Experience is marked consumed only when a cycle completes
+            # (here, and after a successful install below): a crash at
+            # any earlier — or later — point leaves the trigger credit
+            # intact, so the retry trains on the same data.
+            self._consumed = max(self._consumed, added_at_snapshot)
+            with self._lock:
+                self.swaps_rejected += 1
+            return False
+        # Persist, install, and only then advance the warm-start lineage:
+        # swap_model validates the candidate's session before the atomic
+        # (session, epoch) switch (retiring every pre-swap cache entry),
+        # and if that validation raises, the saved checkpoint must not
+        # become the next cycle's base — only installed models join the
+        # lineage.
+        path = trainer.save_checkpoint(
+            os.path.join(self._checkpoint_dir(), f"adapt-{self.retrains:04d}")
+        )
+        self.service.swap_model(candidate)
+        self._latest_checkpoint = path
+        self._consumed = max(self._consumed, added_at_snapshot)
+        with self._lock:
+            self.swaps_accepted += 1
+        return True
+
+    # -- regression gate -----------------------------------------------
+    def _total_ms(self, items: list[LabeledQuery], orders: list[list[str]]) -> float:
+        total = 0.0
+        for item, order in zip(items, orders):
+            total += join_order_execution_time(
+                self.db, item, order, self._estimator,
+                max_intermediate_rows=self.config.max_intermediate_rows,
+            )
+        return total
+
+    def _evaluate_gate(self, live, candidate, val_slice: list[LabeledQuery]) -> GateResult:
+        """Join-order regret of candidate vs live on the held-out slice.
+
+        Regret is measured against the slice's best-known orders: the
+        ECQO optimal where the feedback path derived one, else the
+        experience's own recorded execution.  Both regrets share one
+        baseline, so the gate reduces to "candidate total simulated
+        latency must not exceed the live model's (plus tolerance)" —
+        but the regret numbers are what the report shows.
+
+        Both models decode under the *service's* policy (beam width,
+        legality, cost-rerank): the gate must measure exactly what each
+        model would serve, not its behavior at some other beam width.
+        """
+        decode = dict(
+            beam_width=self.service.config.beam_width,
+            enforce_legality=self.service.config.enforce_legality,
+            rerank_with_cost=self.service.config.rerank_with_cost,
+        )
+        live_orders = live.predict_join_orders(self.db.name, val_slice, **decode)
+        candidate_orders = candidate.predict_join_orders(self.db.name, val_slice, **decode)
+        live_ms = self._total_ms(val_slice, live_orders)
+        candidate_ms = self._total_ms(val_slice, candidate_orders)
+        best_ms = 0.0
+        for item in val_slice:
+            if item.optimal_order is not None:
+                best_ms += join_order_execution_time(
+                    self.db, item, item.optimal_order, self._estimator,
+                    max_intermediate_rows=self.config.max_intermediate_rows,
+                )
+            else:
+                best_ms += item.total_time_ms
+        return GateResult(
+            accepted=candidate_ms <= live_ms + self.config.regret_tolerance_ms,
+            validation_count=len(val_slice),
+            live_ms=live_ms,
+            candidate_ms=candidate_ms,
+            best_ms=best_ms,
+        )
+
+    # -- reporting -----------------------------------------------------
+    def counters(self) -> dict:
+        """The adaptation fields this worker contributes to reports."""
+        with self._lock:
+            return {
+                "retrains": self.retrains,
+                "swaps_accepted": self.swaps_accepted,
+                "swaps_rejected": self.swaps_rejected,
+                "adaptation_failures": self.cycles_failed,
+            }

@@ -1,0 +1,333 @@
+"""Execution feedback: served join orders become training experience.
+
+The paper's training data (E(P), Card, Cost, P_t) is harvested from
+*executed* plans — which is exactly what a serving optimizer produces
+all day.  This module closes that loop:
+
+- :class:`ExperienceBuffer` — a bounded, query-signature-deduped store
+  of :class:`LabeledQuery` experience (FIFO eviction past the bound, so
+  memory stays flat under unbounded traffic);
+- :class:`FeedbackCollector` — a background worker the service forwards
+  served ``(query, order)`` pairs to (``OptimizerService.attach_feedback``).
+  Off the request path, it executes the served order through
+  :mod:`repro.engine` (bounded by the labeler's
+  ``max_intermediate_rows``), converts the execution into labeled
+  experience via :meth:`QueryLabeler.label_with_order` — per-node true
+  cardinalities, cumulative sub-plan costs, and (for small-enough
+  queries) the ECQO optimal-order label — and appends it to the buffer.
+
+Submission is cheap and non-blocking by design: a signature already in
+the buffer (or already queued) is deduped without touching the engine,
+and a full work queue sheds load instead of stalling a client thread.
+Skipped executions are *counted by reason* (over limit, disconnected —
+see the labeler's skip accounting) rather than silently dropped, and the
+counters surface in :class:`repro.serve.ServingReport`.
+
+The :class:`repro.serve.adaptation.AdaptationWorker` consumes the buffer
+to fine-tune and hot-swap the serving model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from ..core.serializer import query_signature
+from ..workload.labeler import LabeledQuery, QueryLabeler
+
+__all__ = ["ExperienceBuffer", "FeedbackConfig", "FeedbackCollector"]
+
+
+class ExperienceBuffer:
+    """Bounded, signature-deduped store of feedback experience.
+
+    Thread-safe.  ``added`` counts unique experiences ever accepted
+    (monotonic, survives eviction) — the adaptation worker uses it to
+    detect fresh experience without draining the buffer.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, LabeledQuery]" = OrderedDict()
+        self.added = 0      # unique experiences accepted (monotonic)
+        self.deduped = 0    # adds dropped because the signature is present
+        self.evicted = 0    # oldest entries pushed out by the bound
+
+    def seen(self, signature: tuple) -> bool:
+        with self._lock:
+            return signature in self._entries
+
+    def note_dedup(self) -> None:
+        """Count a dedup that happened before :meth:`add` (fast path)."""
+        with self._lock:
+            self.deduped += 1
+
+    def add(self, signature: tuple, labeled: LabeledQuery) -> bool:
+        """Insert unless the signature is already buffered; FIFO-evict."""
+        with self._lock:
+            if signature in self._entries:
+                self.deduped += 1
+                return False
+            self._entries[signature] = labeled
+            self.added += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+            return True
+
+    def snapshot(self) -> list[LabeledQuery]:
+        """The buffered experience, oldest first."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def snapshot_with_added(self) -> "tuple[list[LabeledQuery], int]":
+        """Atomic ``(snapshot, added)`` pair.
+
+        The adaptation worker marks experience consumed against the
+        ``added`` value observed *with* the snapshot — an item landing
+        concurrently after the snapshot stays pending for the next
+        cycle instead of being marked consumed without ever being
+        trained on.
+        """
+        with self._lock:
+            return list(self._entries.values()), self.added
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, signature: tuple) -> bool:
+        return self.seen(signature)
+
+
+@dataclass
+class FeedbackConfig:
+    """Knobs of :class:`FeedbackCollector`.
+
+    Attributes
+    ----------
+    buffer_capacity:
+        Bound of the experience buffer (FIFO eviction beyond it).
+    queue_depth:
+        Bound of the collector's pending-work queue; submissions beyond
+        it are dropped (counted) instead of blocking the request path.
+    max_intermediate_rows:
+        Execution bound for served orders *and* the optimal-order
+        oracle — a runaway order is rejected (reason-counted), never
+        executed to completion.
+    with_optimal_order:
+        Derive the ECQO optimal-order label for collected experience
+        (needed to fine-tune JoinSel; CardEst/CostEst train without it).
+    max_optimal_tables:
+        Skip the optimal-order derivation above this table count.
+    rejected_retry_s:
+        How long a rejected signature is remembered before its query may
+        be executed again.  Keeps a hot pathological query from
+        saturating the worker, while a later regime change (a hot-swap
+        now serving an executable order) gets retried after the window.
+    """
+
+    buffer_capacity: int = 256
+    queue_depth: int = 256
+    max_intermediate_rows: int | None = 2_000_000
+    with_optimal_order: bool = True
+    max_optimal_tables: int = 8
+    rejected_retry_s: float = 60.0
+
+    def __post_init__(self):
+        if self.buffer_capacity < 1:
+            raise ValueError(f"buffer_capacity must be >= 1, got {self.buffer_capacity}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.rejected_retry_s < 0:
+            raise ValueError(f"rejected_retry_s must be >= 0, got {self.rejected_retry_s}")
+
+
+class FeedbackCollector:
+    """Executes served orders in the background; fills the buffer.
+
+    Use as a context manager (or :meth:`start` / :meth:`stop`)::
+
+        collector = FeedbackCollector(db)
+        with collector:
+            service.attach_feedback(collector)
+            ...
+
+    ``submit`` is safe from any thread and never blocks on engine work.
+    """
+
+    def __init__(self, db, config: FeedbackConfig | None = None):
+        self.config = config or FeedbackConfig()
+        self.db = db
+        self.labeler = QueryLabeler(
+            db,
+            max_optimal_tables=self.config.max_optimal_tables,
+            max_intermediate_rows=self.config.max_intermediate_rows,
+        )
+        self.buffer = ExperienceBuffer(self.config.buffer_capacity)
+        self._queue: "deque[tuple[tuple, LabeledQuery, list[str]]]" = deque()
+        self._pending: set[tuple] = set()   # signatures queued or in flight
+        # Signatures whose execution was recently rejected (over limit,
+        # disconnected, error) mapped to the rejection time: a hot
+        # pathological query must not make the worker re-execute a
+        # doomed order on every request.  Entries expire after
+        # ``rejected_retry_s`` (a later swap may serve an executable
+        # order for the same query) and the map is FIFO-bounded so it
+        # can never grow past the recent-rejection working set.
+        self._recent_rejected: "OrderedDict[tuple, float]" = OrderedDict()
+        self._recent_rejected_bound = max(self.config.buffer_capacity, 64)
+        self._mutex = threading.Lock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._idle = threading.Condition(self._mutex)
+        self._busy = False
+        self._running = False
+        self._worker: threading.Thread | None = None
+        # Counters (all under _mutex except buffer's own).
+        self.submitted = 0
+        self.dropped_full = 0
+        self.rejected_by_reason: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "FeedbackCollector":
+        with self._mutex:
+            if self._running:
+                raise RuntimeError("feedback collector already running")
+            self._running = True
+            self._worker = threading.Thread(
+                target=self._run, name=f"feedback-{self.db.name}", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work, finish what is queued, join the thread."""
+        with self._wakeup:
+            if not self._running:
+                return
+            self._running = False
+            self._wakeup.notify_all()
+            worker = self._worker
+        worker.join()
+        self._worker = None
+
+    def __enter__(self) -> "FeedbackCollector":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission path (called from request threads) -----------------
+    def submit(self, labeled: LabeledQuery, order: list[str]) -> bool:
+        """Offer a served order for collection; never blocks on execution.
+
+        Returns True when the pair was queued, False when it was deduped
+        (signature already buffered or already queued), shed (queue
+        full), or the collector is stopped.
+        """
+        signature = query_signature(labeled.query)
+        if self.buffer.seen(signature):
+            self.buffer.note_dedup()
+            return False
+        with self._wakeup:
+            self.submitted += 1
+            if not self._running:
+                return False
+            if signature in self._pending or self._rejected_recently_locked(signature):
+                # buffer._lock is a leaf lock: safe to take under _mutex.
+                self.buffer.note_dedup()
+                return False
+            if len(self._queue) >= self.config.queue_depth:
+                self.dropped_full += 1
+                return False
+            self._pending.add(signature)
+            self._queue.append((signature, labeled, order))
+            self._wakeup.notify_all()
+        return True
+
+    # -- worker --------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and self._running:
+                    self._wakeup.wait()
+                if not self._queue:
+                    return  # stopped and fully drained
+                signature, labeled, order = self._queue.popleft()
+                self._busy = True
+            try:
+                self._collect(signature, labeled, order)
+            except BaseException:
+                # Never die: a dead collector would silently stop all
+                # experience flow.  The failed pair is dropped (counted).
+                with self._mutex:
+                    reason = "error"
+                    self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
+                    self._note_rejected_locked(signature)
+            finally:
+                with self._idle:
+                    self._pending.discard(signature)
+                    self._busy = False
+                    self._idle.notify_all()
+
+    def _note_rejected_locked(self, signature: tuple) -> None:
+        self._recent_rejected[signature] = time.monotonic()
+        self._recent_rejected.move_to_end(signature)
+        while len(self._recent_rejected) > self._recent_rejected_bound:
+            self._recent_rejected.popitem(last=False)
+
+    def _rejected_recently_locked(self, signature: tuple) -> bool:
+        rejected_at = self._recent_rejected.get(signature)
+        if rejected_at is None:
+            return False
+        if time.monotonic() - rejected_at >= self.config.rejected_retry_s:
+            del self._recent_rejected[signature]  # window over: retry
+            return False
+        return True
+
+    def _collect(self, signature: tuple, labeled: LabeledQuery, order: list[str]) -> None:
+        item = self.labeler.label_with_order(
+            labeled.query, order, with_optimal_order=self.config.with_optimal_order
+        )
+        if item is None:
+            reason = self.labeler.last_skip_reason or "unknown"
+            with self._mutex:
+                self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
+                self._note_rejected_locked(signature)
+            return
+        item.extras["source"] = "feedback"
+        item.extras["initial_plan_ms"] = labeled.total_time_ms
+        self.buffer.add(signature, item)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the work queue is empty and the worker idle."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._queue or self._busy:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+    # -- reporting -----------------------------------------------------
+    def counters(self) -> dict:
+        """The adaptation fields this collector contributes to reports."""
+        with self._mutex:
+            rejected = sum(self.rejected_by_reason.values()) + self.dropped_full
+            return {
+                "feedback_collected": self.buffer.added,
+                "feedback_deduped": self.buffer.deduped,
+                "feedback_rejected": rejected,
+            }
+
+    def rejection_reasons(self) -> dict[str, int]:
+        with self._mutex:
+            reasons = dict(self.rejected_by_reason)
+        if self.dropped_full:
+            reasons["queue_full"] = self.dropped_full
+        return reasons

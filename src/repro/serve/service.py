@@ -26,6 +26,7 @@ to direct ``predict_join_orders`` calls — the parity suite
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
@@ -118,6 +119,12 @@ class OptimizerService:
         # post-swap request can never be answered from the pre-swap
         # model's cache entries even then.
         self._epoch = 0
+        # Optional online-adaptation hooks: a FeedbackCollector served
+        # orders are forwarded to (attach_feedback) and an
+        # AdaptationWorker (registers itself) whose counters report()
+        # folds into the ServingReport.
+        self.feedback = None
+        self.adaptation = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "OptimizerService":
@@ -156,8 +163,37 @@ class OptimizerService:
             return len(self._queue)
 
     def report(self) -> ServingReport:
-        """Freeze the live counters into a :class:`ServingReport`."""
-        return self.stats.snapshot(queue_depth=self.queue_depth, cache=self.cache)
+        """Freeze the live counters into a :class:`ServingReport`.
+
+        When a feedback collector / adaptation worker is attached, their
+        counters are folded into the report's adaptation fields.
+        """
+        report = self.stats.snapshot(queue_depth=self.queue_depth, cache=self.cache)
+        extra: dict = {}
+        if self.feedback is not None:
+            extra.update(self.feedback.counters())
+        if self.adaptation is not None:
+            extra.update(self.adaptation.counters())
+        return dataclasses.replace(report, **extra) if extra else report
+
+    # -- online adaptation ----------------------------------------------
+    def attach_feedback(self, collector):
+        """Enable the execution-feedback path.
+
+        Every successfully served ``(query, order)`` pair — computed or
+        answered from the plan cache — is submitted to ``collector``
+        (a :class:`repro.serve.feedback.FeedbackCollector`), which
+        executes the served order in the background and turns the result
+        into training experience.  Submission is non-blocking: the
+        collector dedups by query signature and sheds load when its own
+        queue is full, so the request path never waits on an execution.
+        """
+        self.feedback = collector
+        return collector
+
+    def _offer_feedback(self, labeled: LabeledQuery, order: list[str]) -> None:
+        if self.feedback is not None:
+            self.feedback.submit(labeled, order)
 
     # -- model lifecycle -----------------------------------------------
     def swap_model(self, model_or_path, databases=None):
@@ -255,6 +291,7 @@ class OptimizerService:
         cached = self.cache.get(key)
         if cached is not None:
             self.stats.note_completed(started_at)
+            self._offer_feedback(labeled, cached)
             return cached
         request = _Request(labeled, key)
         with self._nonempty:
@@ -270,14 +307,26 @@ class OptimizerService:
         if timeout is _DEFAULT_TIMEOUT:
             timeout = self.config.request_timeout_s
         if not request.done.wait(timeout):
+            # Mark abandoned first, then recheck: the drain thread may
+            # have fulfilled this request between wait() timing out and
+            # the mark.  Without the recheck the computed order was
+            # discarded and a timeout raised anyway — a lost response.
             request.abandoned = True
-            self.stats.note_failed()
-            raise ServiceTimeoutError(f"no response within {timeout} s")
+            if request.done.is_set():
+                # Fulfilled in the window: only count the near-miss when
+                # an actual response came back (a fail() in the same
+                # window is accounted as the failure it is, below).
+                if request.error is None:
+                    self.stats.note_timeout_near_miss()
+            else:
+                self.stats.note_failed()
+                raise ServiceTimeoutError(f"no response within {timeout} s")
         if request.error is not None:
             self.stats.note_failed()
             raise request.error
         self.stats.note_completed(started_at)
         assert request.result is not None
+        self._offer_feedback(labeled, request.result)
         return request.result
 
     # -- drain thread --------------------------------------------------

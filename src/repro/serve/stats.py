@@ -41,6 +41,19 @@ class ServingReport:
     cache_entries: int
     elapsed_s: float
     latency: "LatencyStats | None"
+    # A timed-out waiter found its response already computed when it
+    # marked itself abandoned; the response was returned, not discarded.
+    timeout_near_misses: int = 0
+    # Online-adaptation counters (0 unless a feedback path / adaptation
+    # worker is attached to the service; see repro.serve.feedback and
+    # repro.serve.adaptation).
+    feedback_collected: int = 0   # experiences added to the buffer
+    feedback_deduped: int = 0     # submissions dropped as already-seen
+    feedback_rejected: int = 0    # executions skipped (over limit, ...)
+    retrains: int = 0             # adaptation cycles that fine-tuned
+    swaps_accepted: int = 0       # retrains that passed the gate + swapped
+    swaps_rejected: int = 0       # retrains blocked by the regression gate
+    adaptation_failures: int = 0  # cycles that crashed before a verdict
 
     @property
     def throughput_qps(self) -> float:
@@ -77,6 +90,7 @@ class ServiceStats:
         self.model_calls = 0
         self.max_batch = 0
         self.swaps = 0
+        self.timeout_near_misses = 0
         self._first_request_at: float | None = None
         self._last_done_at: float | None = None
 
@@ -108,6 +122,10 @@ class ServiceStats:
         with self._lock:
             self.swaps += 1
 
+    def note_timeout_near_miss(self) -> None:
+        with self._lock:
+            self.timeout_near_misses += 1
+
     def note_batch(self, num_requests: int, num_model_queries: int, num_coalesced: int) -> None:
         with self._lock:
             self.batches += 1
@@ -137,6 +155,7 @@ class ServiceStats:
                 model_calls=self.model_calls,
                 max_batch=self.max_batch,
                 swaps=self.swaps,
+                timeout_near_misses=self.timeout_near_misses,
                 queue_depth=queue_depth,
                 cache_entries=len(cache) if cache is not None else 0,
                 elapsed_s=elapsed,

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from ..errors import DisconnectedQueryError
+
 __all__ = ["JoinRelation", "JoinSchema"]
 
 
@@ -101,7 +103,7 @@ class JoinSchema:
     def spanning_join_order(self, tables: list[str], start: str | None = None) -> list[str]:
         """A legal left-deep join order covering ``tables`` (BFS order)."""
         if not self.is_connected(tables):
-            raise ValueError(f"tables {tables} are not connected in the join graph")
+            raise DisconnectedQueryError(f"tables {tables} are not connected in the join graph")
         sub = self._graph.subgraph(tables)
         start = start or tables[0]
         order = [start]

@@ -9,6 +9,16 @@ at most 8 tables) derives the optimal join order with ECQO.
 classical planner, execution in :mod:`repro.engine` yields per-node true
 cardinalities and simulated per-node latencies (the cost labels), and
 :func:`repro.optimizer.optimal_join_order` supplies the JoinSel label.
+
+Skips are *accounted for*, not swallowed: a query is only dropped for
+the two well-understood reasons — execution exceeded the intermediate
+row cap (:class:`ExecutionLimitError`) or the join graph is disconnected
+(:class:`DisconnectedQueryError`) — and the reason is recorded on the
+labeler (:attr:`QueryLabeler.last_skip_reason`, :attr:`skip_counts`) so
+callers such as the serving feedback loop can report why experience was
+rejected.  Any other error is a genuine planner/connectivity bug and
+propagates.  When only the optimal-order derivation is skipped, the
+query is still labeled and the reason lands in ``extras``.
 """
 
 from __future__ import annotations
@@ -17,13 +27,19 @@ from dataclasses import dataclass, field
 
 from ..engine.executor import ExecutionLimitError, execute_plan
 from ..engine.plan import PlanNode
-from ..optimizer.planner import PostgresStylePlanner
-from ..optimizer.selectivity import TrueCardinalityOracle
+from ..errors import DisconnectedQueryError
+from ..optimizer.planner import PostgresStylePlanner, plan_with_order
+from ..optimizer.selectivity import HistogramEstimator, TrueCardinalityOracle
 from ..optimizer.optimal import optimal_join_order
 from ..sql.query import Query
 from ..storage.catalog import Database
 
-__all__ = ["LabeledQuery", "QueryLabeler"]
+__all__ = ["LabeledQuery", "QueryLabeler", "SKIP_OVER_LIMIT", "SKIP_DISCONNECTED"]
+
+# Canonical skip-reason labels (keys of QueryLabeler.skip_counts and the
+# values of LabeledQuery.extras["optimal_order_skip"]).
+SKIP_OVER_LIMIT = "over_limit"
+SKIP_DISCONNECTED = "disconnected"
 
 
 @dataclass
@@ -86,30 +102,63 @@ class QueryLabeler:
         self.planner = planner or PostgresStylePlanner(db)
         self.max_optimal_tables = max_optimal_tables
         self.max_intermediate_rows = max_intermediate_rows
+        # Why the last label()/label_with_order() call returned None
+        # (SKIP_* constant), and running totals per reason.  Callers that
+        # need per-query accounting (the feedback loop) read these.
+        self.last_skip_reason: str | None = None
+        self.last_skip_detail: str | None = None
+        self.skip_counts: dict[str, int] = {}
+        self._order_estimator: HistogramEstimator | None = None
+
+    # ------------------------------------------------------------------
+    def _record_skip(self, reason: str, error: BaseException) -> None:
+        self.last_skip_reason = reason
+        self.last_skip_detail = str(error)
+        self.skip_counts[reason] = self.skip_counts.get(reason, 0) + 1
+
+    def _derive_optimal(self, query: Query, extras: dict) -> list[str] | None:
+        """The ECQO optimal-order label; skip reasons land in ``extras``."""
+        if query.num_tables > self.max_optimal_tables:
+            return None
+        try:
+            oracle = TrueCardinalityOracle(
+                self.db, max_intermediate_rows=self.max_intermediate_rows
+            )
+            return optimal_join_order(query, self.db, oracle=oracle)
+        except ExecutionLimitError as error:
+            extras["optimal_order_skip"] = SKIP_OVER_LIMIT
+            extras["optimal_order_skip_detail"] = str(error)
+        except DisconnectedQueryError as error:
+            extras["optimal_order_skip"] = SKIP_DISCONNECTED
+            extras["optimal_order_skip_detail"] = str(error)
+        return None
 
     def label(self, query: Query, with_optimal_order: bool = False) -> LabeledQuery | None:
         """Label one query; returns None when execution exceeds limits.
 
         The initial plan P is the classical planner's choice (the paper
-        provides "Q's initial plan" from the existing DBMS).
+        provides "Q's initial plan" from the existing DBMS).  Only the
+        two well-understood skip conditions return None (with the reason
+        recorded on the labeler); other errors propagate — they are bugs,
+        not over-limit queries.
         """
+        self.last_skip_reason = self.last_skip_detail = None
         try:
             planned = self.planner.plan(query)
             result = execute_plan(
                 planned.plan, self.db, max_intermediate_rows=self.max_intermediate_rows
             )
-        except (ExecutionLimitError, ValueError):
+        except ExecutionLimitError as error:
+            self._record_skip(SKIP_OVER_LIMIT, error)
+            return None
+        except DisconnectedQueryError as error:
+            self._record_skip(SKIP_DISCONNECTED, error)
             return None
 
+        extras: dict = {}
         optimal = None
-        if with_optimal_order and query.num_tables <= self.max_optimal_tables:
-            try:
-                oracle = TrueCardinalityOracle(
-                    self.db, max_intermediate_rows=self.max_intermediate_rows
-                )
-                optimal = optimal_join_order(query, self.db, oracle=oracle)
-            except (ExecutionLimitError, ValueError):
-                optimal = None
+        if with_optimal_order:
+            optimal = self._derive_optimal(query, extras)
 
         return LabeledQuery(
             query=query,
@@ -118,12 +167,67 @@ class QueryLabeler:
             node_costs=_subtree_costs(planned.plan, result.node_times),
             total_time_ms=result.simulated_ms,
             optimal_order=optimal,
+            extras=extras,
+        )
+
+    def label_with_order(
+        self, query: Query, order: list[str], with_optimal_order: bool = False
+    ) -> LabeledQuery | None:
+        """Label the execution of an externally-chosen join order.
+
+        The serving feedback path uses this to turn a *served* join order
+        into fresh (E(P), Card, Cost, P_t) experience: the order becomes
+        a left-deep physical plan (operators chosen by the classical cost
+        model, exactly like the Table 2 execution harness), the plan is
+        executed under the labeler's intermediate-row bound, and the
+        optimal-order label is derived like :meth:`label` does.  Returns
+        None with the skip reason recorded for over-limit/disconnected;
+        an *illegal* order over a connected graph raises ``ValueError`` —
+        a serving layer that emitted one has a bug worth surfacing.
+        """
+        self.last_skip_reason = self.last_skip_detail = None
+        if not query.is_connected():
+            # left_deep_plan would report this as an "illegal join
+            # order" ValueError; classify it as what it is — no order
+            # over this query is executable.
+            self._record_skip(
+                SKIP_DISCONNECTED,
+                DisconnectedQueryError(f"query join graph over {query.tables} is disconnected"),
+            )
+            return None
+        if self._order_estimator is None:
+            self._order_estimator = HistogramEstimator(self.db)
+        try:
+            plan = plan_with_order(query, order, self._order_estimator)
+            result = execute_plan(
+                plan, self.db, max_intermediate_rows=self.max_intermediate_rows
+            )
+        except ExecutionLimitError as error:
+            self._record_skip(SKIP_OVER_LIMIT, error)
+            return None
+        except DisconnectedQueryError as error:
+            self._record_skip(SKIP_DISCONNECTED, error)
+            return None
+
+        extras: dict = {"served_order": list(order)}
+        optimal = None
+        if with_optimal_order:
+            optimal = self._derive_optimal(query, extras)
+
+        return LabeledQuery(
+            query=query,
+            plan=plan,
+            node_cardinalities=result.node_cardinalities,
+            node_costs=_subtree_costs(plan, result.node_times),
+            total_time_ms=result.simulated_ms,
+            optimal_order=optimal,
+            extras=extras,
         )
 
     def label_many(
         self, queries: list[Query], with_optimal_order: bool = False
     ) -> list[LabeledQuery]:
-        """Label a workload, silently dropping over-limit queries."""
+        """Label a workload, dropping (and counting) over-limit queries."""
         labeled = []
         for query in queries:
             item = self.label(query, with_optimal_order=with_optimal_order)

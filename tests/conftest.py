@@ -1,0 +1,42 @@
+"""Shared test configuration.
+
+The threaded serve/adaptation suites coordinate client threads, a drain
+thread, a feedback worker and an adaptation worker; a deadlock there
+would hang CI until the job-level timeout with no diagnostics.
+``pytest-timeout`` is not a baked-in dependency, so the guard is the
+stdlib equivalent: tests marked ``threaded`` arm
+``faulthandler.dump_traceback_later``, which dumps every thread's stack
+and kills the process if a single test exceeds the watchdog budget —
+failing fast with the evidence instead of hanging.
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+# Generous per-test budget: the slowest threaded test (16-client stress
+# across a retrain cycle) runs in seconds; only a genuine deadlock or a
+# pathologically overloaded runner reaches this.
+WATCHDOG_S = float(os.environ.get("REPRO_TEST_WATCHDOG_S", "300"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "threaded: drives background threads; armed with a faulthandler "
+        f"watchdog that dumps all stacks and aborts after {WATCHDOG_S:.0f}s "
+        "(override via REPRO_TEST_WATCHDOG_S)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _thread_watchdog(request):
+    if request.node.get_closest_marker("threaded") is None:
+        yield
+        return
+    faulthandler.dump_traceback_later(WATCHDOG_S, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

@@ -26,6 +26,8 @@ from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
 
 SMALL = ModelConfig(d_model=32, num_heads=2, encoder_layers=1, shared_layers=1, decoder_layers=1)
 
+pytestmark = pytest.mark.threaded
+
 
 @pytest.fixture(scope="module")
 def db():
@@ -351,6 +353,50 @@ class TestRequestLifecycle:
             # The service must still be alive and serving.
             order = service.optimize(labeled[1])
         assert order == model.predict_join_orders(db.name, [labeled[1]])[0]
+
+    def test_timeout_race_returns_fulfilled_result(self, db, model, labeled, monkeypatch):
+        """The drain thread fulfilling a request *between* ``done.wait``
+        timing out and the waiter marking itself abandoned must not lose
+        the computed order: optimize() rechecks ``done`` under the mark
+        and returns the result, counting a near-miss.
+
+        The race window is a few instructions wide, so the drain is
+        instrumented: the request's ``done.wait`` times out for real (no
+        drain thread runs), then a simulated drain fulfills the request
+        before wait's False return reaches optimize()."""
+        import types
+
+        import repro.serve.service as service_module
+
+        expected = model.predict_join_orders(db.name, [labeled[0]])[0]
+
+        class RacyRequest(service_module._Request):
+            def __init__(self, labeled_arg, key):
+                super().__init__(labeled_arg, key)
+                real_event = self.done
+                racy = self
+
+                def wait(timeout=None):
+                    real_event.wait(timeout)  # genuinely times out
+                    racy.fulfill(expected)    # the drain lands in the window
+                    return False              # ...but wait already gave up
+
+                self.done = types.SimpleNamespace(
+                    wait=wait, is_set=real_event.is_set, set=real_event.set
+                )
+
+        service = OptimizerService(model, db.name, ServeConfig(plan_cache_size=0))
+        service._running = True  # queue accepts; no real drain thread
+        monkeypatch.setattr(service_module, "_Request", RacyRequest)
+        try:
+            order = service.optimize(labeled[0], timeout=0.01)
+        finally:
+            service._running = False
+        assert order == expected  # the near-missed response is returned...
+        report = service.report()
+        assert report.timeout_near_misses == 1  # ...and counted
+        assert report.completed == 1
+        assert report.failed == 0
 
     def test_abandoned_requests_are_not_decoded(self, db, model, labeled):
         """Timed-out waiters' requests are skipped by the drain loop."""

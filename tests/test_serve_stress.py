@@ -30,6 +30,8 @@ from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
 
 SMALL = ModelConfig(d_model=32, num_heads=2, encoder_layers=1, shared_layers=1, decoder_layers=1)
 
+pytestmark = pytest.mark.threaded
+
 NUM_THREADS = 12
 REQUESTS_PER_THREAD = 25
 

@@ -137,6 +137,97 @@ class TestLabeler:
         assert result.node_cardinalities == item.node_cardinalities
 
 
+class TestLabelerSkipReasons:
+    """The labeler only drops queries for the two understood reasons,
+    records why, and propagates everything else (the old blanket
+    ``except ValueError`` silently ate planner bugs as "over limit")."""
+
+    def test_over_limit_recorded(self, db, generator):
+        labeler = QueryLabeler(db, max_intermediate_rows=1)
+        queries = generator.generate(8)
+        skipped = [q for q in queries if labeler.label(q) is None]
+        assert skipped, "row cap of 1 skipped nothing"
+        assert labeler.last_skip_reason == "over_limit"
+        assert labeler.skip_counts["over_limit"] == len(skipped)
+
+    def test_disconnected_recorded(self, db):
+        disconnected = Query(tables=list(db.table_names[:2]), joins=[], filters={})
+        labeler = QueryLabeler(db)
+        assert labeler.label(disconnected) is None
+        assert labeler.last_skip_reason == "disconnected"
+        assert labeler.skip_counts == {"disconnected": 1}
+
+    def test_planner_bug_propagates(self, db, generator, monkeypatch):
+        labeler = QueryLabeler(db)
+        monkeypatch.setattr(
+            labeler.planner, "plan", lambda query: (_ for _ in ()).throw(ValueError("planner bug"))
+        )
+        with pytest.raises(ValueError, match="planner bug"):
+            labeler.label(generator.generate_query())
+        assert labeler.skip_counts == {}
+
+    def test_skip_reason_resets_on_success(self, db, generator):
+        labeler = QueryLabeler(db, max_intermediate_rows=1)
+        query = generator.generate_query()
+        assert labeler.label(query) is None
+        labeler.max_intermediate_rows = None
+        assert labeler.label(query) is not None
+        assert labeler.last_skip_reason is None
+
+    def test_optimal_order_skip_lands_in_extras(self, db, generator, monkeypatch):
+        from repro.engine import ExecutionLimitError
+        import repro.workload.labeler as labeler_module
+
+        labeler = QueryLabeler(db)
+        monkeypatch.setattr(
+            labeler_module,
+            "optimal_join_order",
+            lambda *args, **kwargs: (_ for _ in ()).throw(ExecutionLimitError("oracle blew the cap")),
+        )
+        item = labeler.label(generator.generate_query(), with_optimal_order=True)
+        assert item is not None
+        assert item.optimal_order is None
+        assert item.extras["optimal_order_skip"] == "over_limit"
+        assert "oracle blew the cap" in item.extras["optimal_order_skip_detail"]
+
+    def test_label_with_order_executes_served_order(self, db, generator):
+        labeler = QueryLabeler(db)
+        for query in generator.generate(10):
+            base = labeler.label(query, with_optimal_order=False)
+            if base is None:
+                continue
+            order = db.join_schema.spanning_join_order(query.tables, start=query.tables[0])
+            item = labeler.label_with_order(query, order, with_optimal_order=False)
+            assert item is not None
+            assert item.plan.leaf_tables_in_order() == order
+            assert item.extras["served_order"] == order
+            assert item.num_nodes == 2 * query.num_tables - 1
+            result = execute_plan(item.plan, db)
+            assert result.node_cardinalities == item.node_cardinalities
+            return
+        pytest.fail("no labelable query found")
+
+    def test_label_with_order_disconnected_skips_with_reason(self, db):
+        labeler = QueryLabeler(db)
+        disconnected = Query(tables=list(db.table_names[:2]), joins=[], filters={})
+        assert labeler.label_with_order(disconnected, list(disconnected.tables)) is None
+        assert labeler.last_skip_reason == "disconnected"
+
+    def test_label_with_order_rejects_illegal_order(self, db, generator):
+        labeler = QueryLabeler(db)
+        for query in generator.generate(10):
+            if query.num_tables < 3:
+                continue
+            order = db.join_schema.spanning_join_order(query.tables, start=query.tables[0])
+            illegal = list(reversed(order))
+            if query.joins_between({illegal[0]}, {illegal[1]}):
+                continue  # reversal happens to stay legal; try another
+            with pytest.raises(ValueError, match="illegal join order"):
+                labeler.label_with_order(query, illegal)
+            return
+        pytest.skip("no query with an illegal reversal found")
+
+
 class TestDataset:
     def _dataset(self, n=20):
         from repro.workload.labeler import LabeledQuery
