@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import random
 import sys
 import tempfile
 import threading
@@ -47,7 +46,7 @@ from repro.core import DatabaseFeaturizer, JointTrainer, ModelConfig, MTMLFQO
 from repro.core.checkpoint import load_checkpoint
 from repro.core.serializer import query_signature
 from repro.datagen import generate_database
-from repro.eval import format_serving_report, join_order_execution_time
+from repro.eval import format_serving_report, join_order_execution_time, worst_legal_order
 from repro.serve import (
     AdaptationConfig,
     AdaptationWorker,
@@ -57,7 +56,7 @@ from repro.serve import (
     OptimizerService,
     ServeConfig,
 )
-from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
+from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator, traffic_stream
 
 CONCURRENCY = 16
 MODEL = ModelConfig(d_model=32, num_heads=2, encoder_layers=1, shared_layers=1, decoder_layers=1)
@@ -127,12 +126,6 @@ def drive(service, stream):
     return [responses[slot] for slot in sorted(responses)]
 
 
-def repeated_stream(pool, occurrences, seed):
-    stream = [(index, item) for index, item in enumerate(pool) for _ in range(occurrences)]
-    random.Random(seed).shuffle(stream)
-    return stream
-
-
 class LatencyLedger:
     """Total simulated latency of responses; memoized per (query, order)."""
 
@@ -178,10 +171,10 @@ def run_drift(db, featurizer, checkpoint, pre_pool, post_pool, adaptive, occurre
                                  fine_tune_epochs=16, batch_size=8, poll_interval_s=0.05),
             ).start()
         # Phase 1: pre-drift traffic (both services are identical here).
-        for index, order in drive(service, repeated_stream(pre_pool, occurrences, seed=3)):
+        for index, order in drive(service, traffic_stream(pre_pool, occurrences, seed=3)):
             pre_ledger.record(index, order)
         # Phase 2a: the workload drifts; the feedback path sees it.
-        for index, order in drive(service, repeated_stream(post_pool, occurrences, seed=4)):
+        for index, order in drive(service, traffic_stream(post_pool, occurrences, seed=4)):
             post_ledger.record(index, order)
         if adaptive:
             # Let the loop finish one full collect -> retrain -> swap
@@ -194,7 +187,7 @@ def run_drift(db, featurizer, checkpoint, pre_pool, post_pool, adaptive, occurre
                 threading.Event().wait(0.05)
             swap_wait_s = time.perf_counter() - started
         # Phase 2b: drifted traffic continues (adapted weights serve it).
-        for index, order in drive(service, repeated_stream(post_pool, 2 * occurrences, seed=5)):
+        for index, order in drive(service, traffic_stream(post_pool, 2 * occurrences, seed=5)):
             post_ledger.record(index, order)
         report = service.report()
         if adaptive:
@@ -209,30 +202,14 @@ def run_poison(db, featurizer, post_pool, seed=0):
     model.attach_featurizer(db.name, featurizer)
     JointTrainer(model).train([(db.name, item) for item in post_pool], epochs=8, batch_size=8)
 
-    def worst_legal_order(item, samples=12):
-        rng = random.Random(seed)
-        tables = list(item.query.tables)
-        worst, worst_ms, tried = None, -1.0, 0
-        for _ in range(200):
-            if tried >= samples:
-                break
-            order = tables[:]
-            rng.shuffle(order)
-            try:
-                ms = join_order_execution_time(db, item, order)
-            except ValueError:
-                continue
-            tried += 1
-            if ms > worst_ms:
-                worst, worst_ms = order, ms
-        return worst
-
     with OptimizerService(model, db.name) as service:
         live_model = service.session.model
         before = [service.optimize(item) for item in post_pool]
         buffer = ExperienceBuffer(64)
         for item in post_pool:
-            poisoned = dataclasses.replace(item, optimal_order=worst_legal_order(item))
+            poisoned = dataclasses.replace(
+                item, optimal_order=worst_legal_order(db, item, seed=seed)
+            )
             buffer.add(query_signature(item.query), poisoned)
         worker = AdaptationWorker(
             service, db, buffer,

@@ -14,7 +14,10 @@ Runs the full pipeline end-to-end in under a minute:
 6. checkpoint the full model to disk, restore it bit-exactly, and
    warm-start further training from the saved optimizer moments;
 7. close the loop — collect execution feedback from served orders and
-   adapt the live model online behind a regression gate.
+   adapt the live model online behind a regression gate;
+8. run a federated fleet — two tenants serving locally while a
+   coordinator merges their shared-(S)/(T) updates, then onboard a
+   third tenant zero-shot (its featurizer is the only thing trained).
 
 Run:  python examples/quickstart.py
 """
@@ -175,9 +178,70 @@ def main() -> None:
     print(f"counters: {report.retrains} retrains, {report.swaps_accepted} accepted, "
           f"{report.swaps_rejected} gate-rejected")
 
+    print("\n=== 8. Federated fleet: two tenants + zero-shot onboarding ===")
+    # The paper's cloud deployment (Section 7) as a running system
+    # (``repro.federation``): every tenant serves its own database and
+    # contributes only shared-(S)/(T) weight updates — featurizers and
+    # raw experience never leave a node — while a FleetCoordinator
+    # merges updates example-weighted, checkpoints each global round,
+    # and pushes the merged model back through each tenant's regression
+    # gate.  A new tenant onboards by training only its featurizer (F):
+    # the global (S)/(T) is deployed zero-shot.
+    from repro.core import shared_state_dict
+    from repro.datagen import generate_databases
+    from repro.eval import format_fleet_report
+    from repro.federation import FleetConfig, FleetCoordinator, TenantNode
+
+    fleet_dbs = generate_databases(3, base_seed=500, row_range=(100, 400), attr_range=(2, 3))
+    fleet_config = FleetConfig(
+        fine_tune_epochs=4, min_new_experience=6,
+        encoder_queries_per_table=6, encoder_epochs=2,
+    )
+    with FleetCoordinator(config, fleet_config) as fleet:
+        # Seed the global (S)/(T) with the model trained above — the
+        # provider's pre-trained weights (only shared parameters move).
+        fleet.global_model.load_state_dict(shared_state_dict(model))
+        nodes = []
+        for tenant_db in fleet_dbs[:2]:
+            tenant = fleet.onboard(tenant_db)   # trains (F) only
+            tenant.start()
+            nodes.append(tenant)
+            generator = WorkloadGenerator(
+                tenant_db, WorkloadConfig(min_tables=2, max_tables=3, seed=3)
+            )
+            pool = [item for item in QueryLabeler(tenant_db).label_many(
+                generator.generate(10), with_optimal_order=True)
+                if item.optimal_order is not None]
+            for item in pool:                   # traffic -> private experience
+                tenant.optimize(item)
+            tenant.collector.drain(timeout=120)
+        round_ = fleet.run_round()
+        print(f"round 1: participants {[name for name, _ in round_.participants]}, "
+              f"accepted {round_.accepted}, rejected {round_.rejected}")
+        print(f"global round checkpointed at {os.path.basename(round_.checkpoint_path)}"
+              if round_.checkpoint_path else "no merge (not enough fresh experience)")
+
+        # Zero-shot onboarding: the third tenant gets the current
+        # global (S)/(T) untouched; only its featurizer is trained.
+        newcomer = fleet.onboard(fleet_dbs[2])
+        with newcomer:
+            probe_gen = WorkloadGenerator(
+                fleet_dbs[2], WorkloadConfig(min_tables=2, max_tables=3, seed=9)
+            )
+            probe = [item for item in QueryLabeler(fleet_dbs[2]).label_many(
+                probe_gen.generate(4), with_optimal_order=True)][:3]
+            orders = [newcomer.optimize(item) for item in probe]
+        print(f"onboarded {newcomer.name!r} zero-shot; serves join orders "
+              f"immediately: {orders[0]}")
+        print()
+        print(format_fleet_report(fleet.report()))
+        for tenant in nodes:
+            tenant.stop()
+
     print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction,"
-          "\n       examples/serve_demo.py for serving + live model hot-swap, and"
-          "\n       benchmarks/bench_online_adaptation.py for the drift benchmark")
+          "\n       examples/serve_demo.py for serving + live model hot-swap,"
+          "\n       examples/fleet_demo.py for the federated fleet, and"
+          "\n       benchmarks/bench_federated_fleet.py for the fleet benchmark")
 
 
 if __name__ == "__main__":

@@ -37,7 +37,15 @@ from .losses import (
     sequence_level_loss,
     sequence_log_prob,
 )
-from .federated import FederatedClient, FederatedConfig, FederatedTrainer
+from .federated import (
+    AggregationError,
+    FederatedClient,
+    FederatedConfig,
+    FederatedTrainer,
+    SHARED_MODULE_PREFIXES,
+    aggregate_shared_states,
+    shared_state_dict,
+)
 from .meta import MetaLearner, MLAConfig
 from .model import EncodedQuery, FeatureCache, InferenceSession, MTMLFQO
 from .serializer import (
@@ -96,6 +104,10 @@ __all__ = [
     "FederatedTrainer",
     "FederatedClient",
     "FederatedConfig",
+    "AggregationError",
+    "SHARED_MODULE_PREFIXES",
+    "aggregate_shared_states",
+    "shared_state_dict",
     "JoinTree",
     "join_tree_from_order",
     "join_tree_from_plan",

@@ -9,9 +9,16 @@ from .experiments import (
     collect_node_qerrors,
     join_order_execution_time,
     run_table3,
+    worst_legal_order,
 )
 from .metrics import LatencyStats, QErrorStats, improvement_ratio, latency_stats, qerror_stats
-from .reporting import format_serving_report, format_table1, format_table2, format_table3
+from .reporting import (
+    format_fleet_report,
+    format_serving_report,
+    format_table1,
+    format_table2,
+    format_table3,
+)
 
 __all__ = [
     "QErrorStats",
@@ -27,8 +34,10 @@ __all__ = [
     "run_table3",
     "collect_node_qerrors",
     "join_order_execution_time",
+    "worst_legal_order",
     "format_table1",
     "format_table2",
     "format_table3",
     "format_serving_report",
+    "format_fleet_report",
 ]

@@ -15,6 +15,7 @@ baselines and metrics match the paper exactly.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,6 +46,7 @@ __all__ = [
     "run_table3",
     "collect_node_qerrors",
     "join_order_execution_time",
+    "worst_legal_order",
 ]
 
 _COST_FLOOR = 1e-6
@@ -116,6 +118,39 @@ def join_order_execution_time(
     except ExecutionLimitError:
         return over_limit_penalty_ms(max_intermediate_rows)
     return result.simulated_ms
+
+
+def worst_legal_order(
+    db: Database,
+    item: LabeledQuery,
+    samples: int = 12,
+    seed: int = 0,
+    estimator: HistogramEstimator | None = None,
+) -> list[str] | None:
+    """The worst of ``samples`` random *legal* join orders for a query.
+
+    The adversarial-label generator shared by the poisoned-retrain
+    benchmarks and tests: sample random permutations, keep the one with
+    the highest simulated latency, and skip illegal permutations (a
+    disconnected prefix raises ``ValueError``).  Returns ``None`` when
+    no sampled permutation is legal within the attempt budget.
+    """
+    rng = random.Random(seed)
+    tables = list(item.query.tables)
+    worst, worst_ms, tried = None, -1.0, 0
+    for _ in range(200):
+        if tried >= samples:
+            break
+        order = tables[:]
+        rng.shuffle(order)
+        try:
+            ms = join_order_execution_time(db, item, order, estimator)
+        except ValueError:
+            continue
+        tried += 1
+        if ms > worst_ms:
+            worst, worst_ms = order, ms
+    return worst
 
 
 # ----------------------------------------------------------------------

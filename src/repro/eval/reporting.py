@@ -6,10 +6,17 @@ from typing import TYPE_CHECKING
 
 from .experiments import Table1Row, Table2Row, Table3Row
 
-if TYPE_CHECKING:  # avoid a runtime eval -> serve import cycle
+if TYPE_CHECKING:  # avoid a runtime eval -> serve/federation import cycle
+    from ..federation.report import FleetReport
     from ..serve.stats import ServingReport
 
-__all__ = ["format_table1", "format_table2", "format_table3", "format_serving_report"]
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_serving_report",
+    "format_fleet_report",
+]
 
 
 def _fmt(value: float | None, width: int = 9) -> str:
@@ -97,4 +104,39 @@ def format_serving_report(report: "ServingReport", title: str = "Optimizer servi
     )
     if report.latency is not None:
         lines.append(f"{'latency':<22}{'':>2}{report.latency}")
+    return "\n".join(lines)
+
+
+def format_fleet_report(report: "FleetReport", title: str = "Federated fleet report") -> str:
+    """Render a :class:`repro.federation.FleetReport`: a fleet summary
+    followed by each tenant's serving report."""
+    lines = [title, "=" * 64]
+    lines.append(f"{'tenants':<22}{report.num_tenants:>12,}")
+    reverted = f"  ({report.reverted_rounds:,} reverted)" if report.reverted_rounds else ""
+    lines.append(f"{'federated rounds':<22}{report.rounds:>12,}{reverted}")
+    lines.append(f"{'round participations':<22}{report.rounds_participated:>12,}")
+    lines.append(
+        f"{'global-model gates':<22}{report.global_accepted:>12,} accepted"
+        f"  {report.global_rejected:,} rejected  {report.gate_unvalidated:,} unvalidated"
+    )
+    if report.round_failures or report.tenant_failures:
+        lines.append(
+            f"{'federation failures':<22}{report.round_failures:>12,} rounds"
+            f"  {report.tenant_failures:,} tenant harvests/pushes"
+        )
+    lines.append(f"{'completed (fleet)':<22}{report.completed:>12,}")
+    lines.append(f"{'failed (fleet)':<22}{report.failed:>12,}")
+    lines.append(f"{'throughput (fleet)':<22}{report.throughput_qps:>12,.1f} q/s")
+    lines.append(f"{'model hot-swaps':<22}{report.swaps:>12,}")
+    for name in sorted(report.tenants):
+        lines.append("")
+        lines.append(format_serving_report(report.tenants[name], title=f"tenant {name!r}"))
+        counters = report.tenant_counters.get(name)
+        if counters:
+            lines.append(
+                f"{'federation':<22}{counters.get('rounds_participated', 0):>12,} rounds"
+                f"  {counters.get('global_accepted', 0):,} accepted"
+                f"  {counters.get('global_rejected', 0):,} rejected"
+                f"  {counters.get('gate_unvalidated', 0):,} unvalidated"
+            )
     return "\n".join(lines)

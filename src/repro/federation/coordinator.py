@@ -1,0 +1,433 @@
+"""The fleet coordinator: asynchronous FedAvg over live tenants.
+
+The paper's Section 7 deployment is a cloud provider whose customers
+each serve queries locally while contributing only model updates to a
+shared (S)/(T) model.  :class:`FleetCoordinator` runs that loop against
+live :class:`~repro.federation.node.TenantNode` instances:
+
+1. **broadcast** — the current global (S)/(T) state is handed to every
+   registered tenant;
+2. **local phase** — tenants with enough fresh execution-labeled
+   experience fine-tune a private copy (on parallel harvest threads —
+   grad mode is thread-local, each tenant's model, featurizer clone and
+   RNGs are private, so the result is deterministic regardless of
+   scheduling) and return shared-(S)/(T)-only states; tenants without
+   fresh traffic skip, which is what makes rounds *asynchronous* — the
+   fleet never blocks on an idle tenant;
+3. **merge** — the returned states are example-weighted FedAvg-merged
+   (:func:`repro.core.federated.aggregate_shared_states`: shared keys
+   selected by name, loud errors on missing/mismatched parameters);
+4. **checkpoint** — every global round is persisted via
+   :func:`repro.core.checkpoint.save_checkpoint` (``round-NNNN.npz``),
+   so any round can be replayed, shipped, or rolled back to;
+5. **push** — every tenant (participant or not) evaluates the merged
+   model through its own regret gate and hot-swaps only on acceptance.
+   If every gated tenant rejects, the coordinator reverts the global
+   state to the pre-round weights (``revert_on_unanimous_rejection``),
+   so a poisoned round cannot linger in the lineage.
+
+:meth:`onboard` implements the paper's new-customer path: train only a
+database-specific featurizer (F) and deploy the current global (S)/(T)
+zero-shot — no local (S)/(T) training, no data leaving the tenant.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+from ..core.checkpoint import save_checkpoint
+from ..core.config import ModelConfig
+from ..core.encoders import DatabaseFeaturizer
+from ..core.federated import aggregate_shared_states
+from ..core.model import MTMLFQO
+from .config import FleetConfig
+from .node import TenantNode
+from .report import FleetReport
+
+__all__ = ["FleetCoordinator", "FleetRound"]
+
+
+@dataclass
+class FleetRound:
+    """Outcome of one global federated round."""
+
+    index: int
+    # (tenant name, training examples contributed) for the local phase.
+    participants: list[tuple[str, int]] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    # Push-phase gate outcomes, by tenant name.
+    accepted: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    unvalidated: list[str] = field(default_factory=list)
+    # Tenants whose local update or gate *raised* this round — kept
+    # apart from `skipped` ("no fresh experience") so a repeatedly
+    # crashing tenant is visible, not silent.
+    failed: list[str] = field(default_factory=list)
+    checkpoint_path: str | None = None
+    reverted: bool = False
+
+    @property
+    def merged(self) -> bool:
+        """Whether the round produced (and pushed) a merged model."""
+        return bool(self.participants)
+
+
+class FleetCoordinator:
+    """Drives federated rounds over registered tenants.
+
+    Use :meth:`run_round` for explicit, synchronous rounds (tests,
+    benchmarks) or :meth:`start`/:meth:`stop` for the background loop
+    that fires a round whenever ``min_participants`` tenants have fresh
+    experience.  Use as a context manager to clean up a private
+    checkpoint directory on exit::
+
+        with FleetCoordinator(model_config, config) as fleet:
+            fleet.register(tenant)
+            fleet.run_round()
+    """
+
+    def __init__(
+        self,
+        model_config: ModelConfig | None = None,
+        config: FleetConfig | None = None,
+        global_model: MTMLFQO | None = None,
+    ):
+        self.config = config or FleetConfig()
+        self.global_model = global_model or MTMLFQO(model_config)
+        self.tenants: dict[str, TenantNode] = {}
+        self.rounds: list[FleetRound] = []
+        self.reverted_rounds = 0
+        self.round_failures = 0
+        self.tenant_failures = 0
+        self._round_lock = threading.Lock()
+        # Guards the tenant registry: register()/onboard() may run on
+        # the caller's thread while the background loop iterates the
+        # fleet — unguarded, that iteration would die mid-round with
+        # "dictionary changed size during iteration".
+        self._tenants_lock = threading.Lock()
+        # Guards reads/writes of the global model's parameters:
+        # load_state_dict assigns parameter-by-parameter, so an
+        # unguarded onboard()/global_state() racing a round's publish
+        # could copy a torn mix of old and new weights.
+        self._global_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._own_checkpoint_dir: str | None = None
+
+    # -- fleet membership ----------------------------------------------
+    def register(self, tenant: TenantNode) -> TenantNode:
+        with self._tenants_lock:
+            if tenant.name in self.tenants:
+                raise ValueError(f"tenant {tenant.name!r} is already registered")
+            self.tenants[tenant.name] = tenant
+        return tenant
+
+    def _tenant_snapshot(self) -> list[tuple[str, TenantNode]]:
+        """A stable view of the fleet for one iteration pass."""
+        with self._tenants_lock:
+            return list(self.tenants.items())
+
+    def onboard(
+        self,
+        db,
+        name: str | None = None,
+        serve_config=None,
+        feedback_config=None,
+        featurizer: DatabaseFeaturizer | None = None,
+    ) -> TenantNode:
+        """Bring a new tenant online: train (F) only, deploy (S)/(T) zero-shot.
+
+        The new tenant's model is the current global (S)/(T) — no local
+        (S)/(T) training, no tenant data used beyond the featurizer's
+        own single-table encoder fitting — composed with a freshly
+        trained database-specific featurizer.  The tenant is registered
+        (it will receive future rounds through its gate, and contribute
+        once it accumulates experience) and returned un-started; call
+        ``start()`` (or use it as a context manager) to begin serving.
+        """
+        with self._tenants_lock:
+            # Fail fast before the expensive featurizer training; the
+            # name is re-checked under the lock at register() time.
+            if (name or db.name) in self.tenants:
+                raise ValueError(f"tenant {(name or db.name)!r} is already registered")
+        model_config = self.global_model.config
+        if featurizer is None:
+            featurizer = DatabaseFeaturizer(db, model_config)
+            featurizer.train_encoders(
+                queries_per_table=self.config.encoder_queries_per_table,
+                epochs=self.config.encoder_epochs,
+                seed=self.config.seed,
+            )
+        model = MTMLFQO(model_config)
+        model.load_state_dict(self.global_state())
+        model.attach_featurizer(db.name, featurizer)
+        model.eval()
+        tenant = TenantNode(
+            db,
+            model,
+            config=self.config,
+            serve_config=serve_config,
+            feedback_config=feedback_config,
+            name=name,
+        )
+        return self.register(tenant)
+
+    # -- global state ---------------------------------------------------
+    def global_state(self) -> dict:
+        """A copy of the global (S)/(T) named-parameter state."""
+        with self._global_lock:
+            return self.global_model.state_dict()
+
+    def _checkpoint_dir(self) -> str:
+        if self.config.checkpoint_dir is not None:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+            return self.config.checkpoint_dir
+        if self._own_checkpoint_dir is None:
+            self._own_checkpoint_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+        return self._own_checkpoint_dir
+
+    # -- rounds ----------------------------------------------------------
+    def run_round(self) -> FleetRound:
+        """One synchronous broadcast → local → merge → checkpoint → push
+        round; safe to call while the background loop runs."""
+        with self._round_lock:
+            return self._run_round_locked()
+
+    def _run_round_locked(self) -> FleetRound:
+        round_ = FleetRound(index=len(self.rounds))
+        broadcast = self.global_state()
+        tenants = self._tenant_snapshot()
+
+        # Local phase: harvest every tenant concurrently.  Each update
+        # trains a private model on private data with per-instance RNGs
+        # and thread-local grad mode, so the outcome is independent of
+        # thread scheduling; parallelism only shortens the round.  A
+        # crashing tenant is recorded (never silently folded into
+        # "skipped") and the rest of the round proceeds without it.
+        results: dict[str, "tuple[dict, int] | None | BaseException"] = {}
+
+        def harvest(tenant_name: str, tenant: TenantNode) -> None:
+            try:
+                results[tenant_name] = tenant.local_update(broadcast)
+            except BaseException as error:
+                results[tenant_name] = error
+
+        self._run_per_tenant(tenants, harvest, stage="harvest")
+
+        states: list[dict] = []
+        weights: list[float] = []
+        for tenant_name, _ in tenants:
+            update = results.get(tenant_name)
+            if isinstance(update, BaseException):
+                round_.failed.append(tenant_name)
+                self.tenant_failures += 1
+                continue
+            if update is None:
+                round_.skipped.append(tenant_name)
+                continue
+            state, num_examples = update
+            round_.participants.append((tenant_name, num_examples))
+            states.append(state)
+            weights.append(float(max(num_examples, 1)))
+
+        if states:
+            try:
+                self._merge_and_push(round_, tenants, states, weights)
+            except BaseException:
+                # The merge never landed (e.g. save_checkpoint on a full
+                # disk): the global model was not yet touched — it is
+                # only published after the push — but the participants'
+                # experience was consumed by a round that produced
+                # nothing, so their harvest credit is returned before
+                # the error propagates.
+                self._abandon_round(round_, tenants)
+                raise
+
+        self.rounds.append(round_)
+        return round_
+
+    def _merge_and_push(self, round_: FleetRound, tenants, states, weights) -> None:
+        """Merge → checkpoint → gated push → publish (or revert).
+
+        The merged weights live in a *staging* model until the push
+        phase decides their fate: ``self.global_model`` is only
+        rewritten (under the global-state lock) once the round stands,
+        so a concurrent ``onboard()``/``global_state()`` can never
+        observe a torn write or a merged state that every gate is about
+        to reject.
+        """
+        merged = aggregate_shared_states(
+            states, weights, reference=self.global_state()
+        )
+        staging = MTMLFQO(self.global_model.config)
+        staging.load_state_dict(merged)
+        round_.checkpoint_path = save_checkpoint(
+            staging,
+            os.path.join(self._checkpoint_dir(), f"round-{round_.index:04d}"),
+        )
+
+        # Push phase: every tenant gates the merged model, whether or
+        # not it trained this round — receiving is how an idle or
+        # freshly onboarded tenant benefits from the fleet.  Gates
+        # decode and *execute* validation orders, so like the local
+        # phase they run one thread per tenant (independent models,
+        # services and engines) instead of serializing the round on the
+        # slowest gate.
+        push_state = staging.state_dict()
+        outcomes: dict[str, "bool | None | BaseException"] = {}
+
+        def push(tenant_name: str, tenant: TenantNode) -> None:
+            try:
+                outcomes[tenant_name] = tenant.consider_global(push_state)
+            except BaseException as error:
+                outcomes[tenant_name] = error
+
+        # Tenants that already crashed in the harvest sit the push out:
+        # re-driving a broken tenant would only double-count it (or
+        # list it as failed *and* accepted in the same round).
+        push_tenants = [entry for entry in tenants if entry[0] not in round_.failed]
+        self._run_per_tenant(push_tenants, push, stage="push")
+        for tenant_name, _ in push_tenants:
+            outcome = outcomes.get(tenant_name)
+            if isinstance(outcome, BaseException):
+                round_.failed.append(tenant_name)
+                self.tenant_failures += 1
+            elif outcome is True:
+                round_.accepted.append(tenant_name)
+            elif outcome is False:
+                round_.rejected.append(tenant_name)
+            else:
+                round_.unvalidated.append(tenant_name)
+
+        gated = len(round_.accepted) + len(round_.rejected)
+        if gated == 0 or (
+            self.config.revert_on_unanimous_rejection and not round_.accepted
+        ):
+            # The staged state is discarded — never published, its
+            # checkpoint withdrawn — and the participants' harvest
+            # credit returned (their experience was consumed by a round
+            # that never landed, and the signature-deduped buffers
+            # cannot re-admit it).  Two ways here: every tenant that
+            # could measure the merge rejected it (the unanimous-
+            # rejection rule), or *no* gate produced a verdict at all
+            # (every push raised or was unvalidatable) — publishing a
+            # merge nobody measured would silently bypass the gate
+            # safeguard, so a zero-verdict round never lands regardless
+            # of the revert setting.
+            self._abandon_round(round_, tenants)
+            round_.reverted = True
+            self.reverted_rounds += 1
+            return
+        with self._global_lock:
+            self.global_model.load_state_dict(merged)
+            self.global_model.mark_updated()
+
+    def _abandon_round(self, round_: FleetRound, tenants) -> None:
+        """Discard a round that will not land: return the participants'
+        harvest credit and withdraw the round's checkpoint."""
+        by_name = dict(tenants)
+        for tenant_name, _ in round_.participants:
+            by_name[tenant_name].rollback_harvest()
+        if round_.checkpoint_path is not None:
+            try:
+                os.remove(round_.checkpoint_path)
+            except OSError:
+                pass
+            round_.checkpoint_path = None
+
+    @staticmethod
+    def _run_per_tenant(tenants, target, stage: str) -> None:
+        """Run ``target(name, tenant)`` on one thread per tenant, join all."""
+        threads = [
+            threading.Thread(
+                target=target, args=entry, name=f"fleet-{stage}-{entry[0]}", daemon=True
+            )
+            for entry in tenants
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    # -- background loop -------------------------------------------------
+    def ready_tenants(self) -> list[str]:
+        """Tenants currently holding enough fresh experience to train."""
+        return [
+            name
+            for name, tenant in self._tenant_snapshot()
+            if tenant.pending_experience() >= self.config.min_new_experience
+        ]
+
+    def start(self) -> "FleetCoordinator":
+        if self._thread is not None:
+            raise RuntimeError("fleet coordinator already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="fleet-coordinator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        backoff_s = max(1.0, 20 * self.config.poll_interval_s)
+        while not self._stop.is_set():
+            if len(self.ready_tenants()) >= self.config.min_participants:
+                try:
+                    round_ = self.run_round()
+                except BaseException:
+                    # The loop must survive anything; back off so a
+                    # persistent failure (unwritable checkpoint dir)
+                    # cannot hot-spin training rounds.
+                    self.round_failures += 1
+                    self._stop.wait(backoff_s)
+                else:
+                    # A reverted round returned its participants'
+                    # harvest credit, and a crashed tenant's cursor
+                    # never advanced — either way the same tenants are
+                    # immediately "ready" again, so a real pause is the
+                    # only thing between this loop and continuously
+                    # re-running a doomed round at full CPU.
+                    if round_.reverted or round_.failed:
+                        self._stop.wait(backoff_s)
+                    else:
+                        self._stop.wait(self.config.poll_interval_s)
+            else:
+                self._stop.wait(self.config.poll_interval_s)
+
+    def stop(self) -> None:
+        """Stop the background loop (a round in flight completes first)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def shutdown(self) -> None:
+        """Stop the loop and remove a private checkpoint directory."""
+        self.stop()
+        if self._own_checkpoint_dir is not None:
+            shutil.rmtree(self._own_checkpoint_dir, ignore_errors=True)
+            self._own_checkpoint_dir = None
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- reporting --------------------------------------------------------
+    def report(self) -> FleetReport:
+        """Merge every tenant's ServingReport into one fleet view."""
+        tenants = self._tenant_snapshot()
+        return FleetReport(
+            tenants={name: tenant.report() for name, tenant in tenants},
+            tenant_counters={name: tenant.counters() for name, tenant in tenants},
+            rounds=len(self.rounds),
+            reverted_rounds=self.reverted_rounds,
+            round_failures=self.round_failures,
+            tenant_failures=self.tenant_failures,
+            last_round=self.rounds[-1] if self.rounds else None,
+        )

@@ -16,31 +16,39 @@ numerical robustness is preferred over memory savings.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (as in torch): a serving thread running under
+# no_grad must not disable tape recording for a concurrently training
+# thread (tenant fine-tunes run on fleet-coordinator threads while drain
+# threads serve inference), and vice versa.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
-    """Context manager that disables gradient recording (like torch.no_grad)."""
+    """Context manager that disables gradient recording (like torch.no_grad).
+
+    The flag is thread-local: entering ``no_grad`` on one thread leaves
+    every other thread's recording mode untouched.
+    """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Return True when operations are being recorded on the tape."""
-    return _GRAD_ENABLED
+    """Return True when operations are being recorded on this thread's tape."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -83,7 +91,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward = None
         self._prev: tuple = ()
         self.name = name

@@ -16,7 +16,13 @@ serving model only after a join-order-regret regression gate passes.
 See DESIGN.md "Online adaptation".
 """
 
-from .adaptation import AdaptationConfig, AdaptationWorker, GateResult
+from .adaptation import (
+    AdaptationConfig,
+    AdaptationWorker,
+    GateResult,
+    evaluate_regret_gate,
+    split_experience,
+)
 from .cache import PlanCache
 from .config import ServeConfig
 from .feedback import ExperienceBuffer, FeedbackCollector, FeedbackConfig
@@ -43,4 +49,6 @@ __all__ = [
     "ServiceTimeoutError",
     "ServiceStats",
     "ServingReport",
+    "evaluate_regret_gate",
+    "split_experience",
 ]

@@ -45,7 +45,13 @@ from ..optimizer.selectivity import HistogramEstimator
 from ..workload.labeler import LabeledQuery
 from .feedback import ExperienceBuffer
 
-__all__ = ["AdaptationConfig", "AdaptationWorker", "GateResult"]
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationWorker",
+    "GateResult",
+    "evaluate_regret_gate",
+    "split_experience",
+]
 
 
 @dataclass
@@ -113,6 +119,83 @@ class GateResult:
     @property
     def candidate_regret_ms(self) -> float:
         return self.candidate_ms - self.best_ms
+
+
+def split_experience(
+    experience: list[LabeledQuery], validation_fraction: float
+) -> tuple[list[LabeledQuery], list[LabeledQuery]]:
+    """Deterministic (train, validation) split of an experience snapshot.
+
+    A buffer's insertion order depends on traffic arrival (thread
+    scheduling), so the snapshot is first sorted by the query's SQL
+    text: given the same experience *set*, every retrain fine-tunes and
+    gates on exactly the same slices no matter how requests interleaved.
+    When there is too little experience to hold anything out, the gate
+    runs on the training slice (better than no gate at all).
+    """
+    experience = sorted(experience, key=lambda item: item.query.to_sql())
+    k = max(1, round(len(experience) * validation_fraction))
+    if k >= len(experience):
+        return list(experience), list(experience)
+    return experience[:-k], experience[-k:]
+
+
+def evaluate_regret_gate(
+    db,
+    live,
+    candidate,
+    val_slice: list[LabeledQuery],
+    *,
+    decode: dict | None = None,
+    estimator: HistogramEstimator | None = None,
+    tolerance_ms: float = 0.0,
+    max_intermediate_rows: int = 2_000_000,
+) -> GateResult:
+    """Join-order regret of ``candidate`` vs ``live`` on a held-out slice.
+
+    Both models decode the slice under the same policy (``decode`` is
+    the ``predict_join_orders`` keyword set — pass the serving config's
+    beam width / legality / rerank so the gate measures exactly what
+    each model would serve) and the decoded orders are *executed*
+    through :mod:`repro.engine` (over-limit orders charged the shared
+    timeout penalty).  Regret is measured against the slice's best-known
+    orders: the ECQO optimal where the experience derived one, else the
+    experience's own recorded execution.  Both regrets share one
+    baseline, so acceptance reduces to "candidate total simulated
+    latency must not exceed the live model's (plus ``tolerance_ms``)" —
+    but the regret numbers are what reports show.
+    """
+    if not val_slice:
+        raise ValueError("cannot gate on an empty validation slice")
+    estimator = estimator or HistogramEstimator(db)
+    decode = dict(decode or {})
+
+    def total_ms(orders: list[list[str]]) -> float:
+        total = 0.0
+        for item, order in zip(val_slice, orders):
+            total += join_order_execution_time(
+                db, item, order, estimator, max_intermediate_rows=max_intermediate_rows
+            )
+        return total
+
+    live_ms = total_ms(live.predict_join_orders(db.name, val_slice, **decode))
+    candidate_ms = total_ms(candidate.predict_join_orders(db.name, val_slice, **decode))
+    best_ms = 0.0
+    for item in val_slice:
+        if item.optimal_order is not None:
+            best_ms += join_order_execution_time(
+                db, item, item.optimal_order, estimator,
+                max_intermediate_rows=max_intermediate_rows,
+            )
+        else:
+            best_ms += item.total_time_ms
+    return GateResult(
+        accepted=candidate_ms <= live_ms + tolerance_ms,
+        validation_count=len(val_slice),
+        live_ms=live_ms,
+        candidate_ms=candidate_ms,
+        best_ms=best_ms,
+    )
 
 
 class AdaptationWorker:
@@ -229,21 +312,8 @@ class AdaptationWorker:
         return self._latest_checkpoint
 
     def _split(self, experience: list[LabeledQuery]) -> tuple[list[LabeledQuery], list[LabeledQuery]]:
-        """Deterministic (train, validation) split of the experience.
-
-        The buffer's insertion order depends on traffic arrival (thread
-        scheduling), so the snapshot is first sorted by the query's SQL
-        text: given the same experience *set*, every cycle fine-tunes
-        and gates on exactly the same slices no matter how requests
-        interleaved — adaptation outcomes are reproducible.
-        """
-        experience = sorted(experience, key=lambda item: item.query.to_sql())
-        k = max(1, round(len(experience) * self.config.validation_fraction))
-        if k >= len(experience):
-            # Too little experience to hold anything out: gate on the
-            # training slice (better than no gate at all).
-            return list(experience), list(experience)
-        return experience[:-k], experience[-k:]
+        """Deterministic (train, validation) split; see :func:`split_experience`."""
+        return split_experience(experience, self.config.validation_fraction)
 
     def run_once(self) -> bool:
         """One collect → retrain → gate → swap cycle; True iff swapped."""
@@ -297,53 +367,23 @@ class AdaptationWorker:
         return True
 
     # -- regression gate -----------------------------------------------
-    def _total_ms(self, items: list[LabeledQuery], orders: list[list[str]]) -> float:
-        total = 0.0
-        for item, order in zip(items, orders):
-            total += join_order_execution_time(
-                self.db, item, order, self._estimator,
-                max_intermediate_rows=self.config.max_intermediate_rows,
-            )
-        return total
-
     def _evaluate_gate(self, live, candidate, val_slice: list[LabeledQuery]) -> GateResult:
-        """Join-order regret of candidate vs live on the held-out slice.
+        """Candidate-vs-live regret under the *service's* decode policy.
 
-        Regret is measured against the slice's best-known orders: the
-        ECQO optimal where the feedback path derived one, else the
-        experience's own recorded execution.  Both regrets share one
-        baseline, so the gate reduces to "candidate total simulated
-        latency must not exceed the live model's (plus tolerance)" —
-        but the regret numbers are what the report shows.
-
-        Both models decode under the *service's* policy (beam width,
-        legality, cost-rerank): the gate must measure exactly what each
-        model would serve, not its behavior at some other beam width.
+        Delegates to :func:`evaluate_regret_gate` with the serving
+        config's beam width / legality / cost-rerank: the gate must
+        measure exactly what each model would serve, not its behavior at
+        some other beam width.
         """
-        decode = dict(
-            beam_width=self.service.config.beam_width,
-            enforce_legality=self.service.config.enforce_legality,
-            rerank_with_cost=self.service.config.rerank_with_cost,
-        )
-        live_orders = live.predict_join_orders(self.db.name, val_slice, **decode)
-        candidate_orders = candidate.predict_join_orders(self.db.name, val_slice, **decode)
-        live_ms = self._total_ms(val_slice, live_orders)
-        candidate_ms = self._total_ms(val_slice, candidate_orders)
-        best_ms = 0.0
-        for item in val_slice:
-            if item.optimal_order is not None:
-                best_ms += join_order_execution_time(
-                    self.db, item, item.optimal_order, self._estimator,
-                    max_intermediate_rows=self.config.max_intermediate_rows,
-                )
-            else:
-                best_ms += item.total_time_ms
-        return GateResult(
-            accepted=candidate_ms <= live_ms + self.config.regret_tolerance_ms,
-            validation_count=len(val_slice),
-            live_ms=live_ms,
-            candidate_ms=candidate_ms,
-            best_ms=best_ms,
+        return evaluate_regret_gate(
+            self.db,
+            live,
+            candidate,
+            val_slice,
+            decode=self.service.config.decode_kwargs(),
+            estimator=self._estimator,
+            tolerance_ms=self.config.regret_tolerance_ms,
+            max_intermediate_rows=self.config.max_intermediate_rows,
         )
 
     # -- reporting -----------------------------------------------------

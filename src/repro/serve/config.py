@@ -48,6 +48,21 @@ class ServeConfig:
     rerank_with_cost: bool | None = None
     request_timeout_s: float | None = 30.0
 
+    def decode_kwargs(self) -> dict:
+        """The decode-policy keywords for ``predict_join_orders``.
+
+        The single source of truth for "what this service's policy
+        means as model-call arguments" — the drain loop, the
+        adaptation gate, and the federation gate all decode under
+        exactly these keywords, so a new policy knob added here reaches
+        every gate and serving path at once.
+        """
+        return {
+            "beam_width": self.beam_width,
+            "enforce_legality": self.enforce_legality,
+            "rerank_with_cost": self.rerank_with_cost,
+        }
+
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")

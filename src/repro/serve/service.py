@@ -415,12 +415,7 @@ class OptimizerService:
         # 4. One coalesced batched decode for every distinct survivor.
         items = [requests[0].labeled for _, requests in runnable]
         try:
-            orders = session.predict_join_orders(
-                items,
-                beam_width=self.config.beam_width,
-                enforce_legality=self.config.enforce_legality,
-                rerank_with_cost=self.config.rerank_with_cost,
-            )
+            orders = session.predict_join_orders(items, **self.config.decode_kwargs())
         except BaseException:
             self._serve_individually(runnable, session)
             return
@@ -439,10 +434,7 @@ class OptimizerService:
         for key, requests in runnable:
             try:
                 order = session.predict_join_orders(
-                    [requests[0].labeled],
-                    beam_width=self.config.beam_width,
-                    enforce_legality=self.config.enforce_legality,
-                    rerank_with_cost=self.config.rerank_with_cost,
+                    [requests[0].labeled], **self.config.decode_kwargs()
                 )[0]
             except BaseException as error:
                 for request in requests:

@@ -1,6 +1,6 @@
 """``repro.workload`` — JOB-like query generation and ground-truth labeling."""
 
-from .dataset import QueryDataset, split_dataset
+from .dataset import QueryDataset, split_dataset, traffic_stream
 from .generator import WorkloadConfig, WorkloadGenerator, generate_single_table_queries
 from .labeler import LabeledQuery, QueryLabeler
 
@@ -12,4 +12,5 @@ __all__ = [
     "QueryLabeler",
     "QueryDataset",
     "split_dataset",
+    "traffic_stream",
 ]

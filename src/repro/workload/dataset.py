@@ -14,7 +14,7 @@ import numpy as np
 
 from .labeler import LabeledQuery
 
-__all__ = ["QueryDataset", "split_dataset"]
+__all__ = ["QueryDataset", "split_dataset", "traffic_stream"]
 
 
 @dataclass
@@ -73,3 +73,21 @@ def split_dataset(
             out.append(QueryDataset(shuffled[start:start + count]))
             start += count
     return tuple(out)
+
+
+def traffic_stream(
+    pool: list[LabeledQuery], occurrences: int = 1, seed: int = 0
+) -> list[tuple[int, LabeledQuery]]:
+    """A shuffled serving stream of ``(pool index, item)`` pairs.
+
+    Repeats every pool entry ``occurrences`` times and shuffles
+    deterministically — the request schedule serving benchmarks and the
+    fleet stress tests drive through ``OptimizerService.optimize``.
+    Returning the pool index lets callers attribute each response back
+    to its query (e.g. for latency ledgers) even after shuffling.
+    """
+    if occurrences < 1:
+        raise ValueError(f"occurrences must be >= 1, got {occurrences}")
+    stream = [(index, item) for index, item in enumerate(pool) for _ in range(occurrences)]
+    rng = np.random.default_rng(seed)
+    return [stream[i] for i in rng.permutation(len(stream))]

@@ -21,7 +21,7 @@ from repro.core import JointTrainer, ModelConfig, MTMLFQO
 from repro.core.encoders import DatabaseFeaturizer
 from repro.core.serializer import query_signature
 from repro.datagen import generate_database
-from repro.eval import join_order_execution_time
+from repro.eval import join_order_execution_time, worst_legal_order
 from repro.serve import (
     AdaptationConfig,
     AdaptationWorker,
@@ -282,32 +282,13 @@ class TestAdaptationWorker:
         # make the candidate measurably worse, not accidentally better.
         JointTrainer(model).train([(db.name, item) for item in phase2], epochs=8, batch_size=8)
 
-        def worst_legal_order(item, samples=12, seed=0):
-            rng = random.Random(seed)
-            tables = list(item.query.tables)
-            worst, worst_ms = None, -1.0
-            tried = 0
-            for _ in range(200):
-                if tried >= samples:
-                    break
-                order = tables[:]
-                rng.shuffle(order)
-                try:
-                    ms = join_order_execution_time(db, item, order)
-                except ValueError:
-                    continue  # illegal permutation
-                tried += 1
-                if ms > worst_ms:
-                    worst, worst_ms = order, ms
-            return worst
-
         config = dataclasses.replace(self.CONFIG, checkpoint_dir=str(tmp_path))
         with OptimizerService(model, db.name) as service:
             live_model = service.session.model
             pre = [service.optimize(item) for item in phase2]
             buffer = ExperienceBuffer(64)
             for item in phase2:
-                poisoned = dataclasses.replace(item, optimal_order=worst_legal_order(item))
+                poisoned = dataclasses.replace(item, optimal_order=worst_legal_order(db, item))
                 buffer.add(query_signature(item.query), poisoned)
             worker = AdaptationWorker(service, db, buffer, config)
             assert not worker.run_once()

@@ -4,10 +4,15 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    AggregationError,
     FederatedClient,
     FederatedConfig,
     FederatedTrainer,
+    JointTrainer,
     ModelConfig,
+    MTMLFQO,
+    SHARED_MODULE_PREFIXES,
+    aggregate_shared_states,
 )
 from repro.datagen import generate_databases
 from repro.workload import QueryLabeler, WorkloadConfig, WorkloadGenerator
@@ -83,3 +88,95 @@ class TestFederatedTraining:
         broken = FederatedClient(db=clients[0].db, workload=[])
         with pytest.raises(ValueError):
             trainer.train([broken])
+
+    def test_single_client_round_matches_local_training(self, clients):
+        """One client, one round: FedAvg degenerates to plain local
+        training — bit-identical to a JointTrainer run from the same
+        starting weights with the same seed."""
+        fed = FederatedConfig(rounds=1, local_epochs=1, encoder_queries_per_table=3, encoder_epochs=1)
+        trainer = FederatedTrainer(TINY, fed)
+        client = clients[0]
+        initial = {k: v.copy() for k, v in trainer.server_model.state_dict().items()}
+        trainer.train([client])
+
+        reference = MTMLFQO(TINY)
+        reference.attach_featurizer(client.db.name, client.featurizer)
+        reference.load_state_dict(initial)
+        JointTrainer(reference).train(
+            [(client.db.name, item) for item in client.workload],
+            epochs=fed.local_epochs,
+            batch_size=fed.batch_size,
+            seed=fed.seed,
+        )
+        server = trainer.server_model.state_dict()
+        for name, value in reference.state_dict().items():
+            np.testing.assert_array_equal(server[name], value, err_msg=name)
+
+    def test_client_optimizer_state_persists_across_rounds(self, clients):
+        """Round 2 resumes each client's Adam moments (name-keyed) rather
+        than re-warming from zero: the step counter keeps counting."""
+        fed = FederatedConfig(rounds=2, local_epochs=1, encoder_queries_per_table=3, encoder_epochs=1)
+        trainer = FederatedTrainer(TINY, fed)
+        trainer.train(clients[:1])
+        saved = trainer._client_optimizer_state[clients[0].db.name]
+        # 10 examples / batch 16 = 1 step per epoch, 1 epoch per round,
+        # 2 rounds: a fresh-Adam-per-round rebuild would end at t == 1.
+        assert saved["t"] == 2
+        assert all(key.startswith(SHARED_MODULE_PREFIXES) for key in saved["m"])
+
+
+class TestSharedAggregation:
+    def _server_state(self):
+        return MTMLFQO(TINY).state_dict()
+
+    def test_private_keys_are_never_merged(self):
+        """Per-client featurizer entries are ignored by name, not
+        averaged (the "(F) is never shared" contract) — and differing
+        private key sets across clients cannot break the merge."""
+        base = self._server_state()
+        state_a = {k: np.zeros_like(v) for k, v in base.items()}
+        state_b = {k: np.ones_like(v) for k, v in base.items()}
+        state_a["featurizers.db_a.column_embedding.weight"] = np.full((3, 2), 7.0)
+        state_b["featurizers.db_b.encoders.t1.weight"] = np.full((5,), 9.0)
+        merged = aggregate_shared_states([state_a, state_b], [1.0, 1.0], reference=base)
+        assert set(merged) == set(base)
+        for value in merged.values():
+            np.testing.assert_allclose(value, 0.5)
+
+    def test_missing_shared_key_raises(self):
+        base = self._server_state()
+        state_a = {k: np.zeros_like(v) for k, v in base.items()}
+        state_b = {k: np.ones_like(v) for k, v in base.items()}
+        dropped = sorted(base)[0]
+        del state_b[dropped]
+        with pytest.raises(AggregationError, match="client 1.*missing"):
+            aggregate_shared_states([state_a, state_b], [1.0, 1.0], reference=base)
+
+    def test_shape_mismatch_raises(self):
+        base = self._server_state()
+        state_a = {k: np.zeros_like(v) for k, v in base.items()}
+        state_b = {k: np.ones_like(v) for k, v in base.items()}
+        mangled = sorted(base)[0]
+        state_b[mangled] = np.ones(np.asarray(base[mangled]).size + 1)
+        with pytest.raises(AggregationError, match="shape mismatch"):
+            aggregate_shared_states([state_a, state_b], [1.0, 1.0], reference=base)
+
+    def test_malformed_inputs_raise(self):
+        base = self._server_state()
+        state = {k: np.zeros_like(v) for k, v in base.items()}
+        with pytest.raises(AggregationError, match="no client states"):
+            aggregate_shared_states([], [], reference=base)
+        with pytest.raises(AggregationError, match="weights"):
+            aggregate_shared_states([state], [1.0, 2.0], reference=base)
+        with pytest.raises(AggregationError, match="positive"):
+            aggregate_shared_states([state], [0.0], reference=base)
+        with pytest.raises(AggregationError, match="no shared"):
+            aggregate_shared_states([{"private.w": np.ones(2)}], [1.0])
+
+    def test_weighted_mean_with_reference(self):
+        base = self._server_state()
+        state_a = {k: np.zeros_like(v) for k, v in base.items()}
+        state_b = {k: np.ones_like(v) for k, v in base.items()}
+        merged = aggregate_shared_states([state_a, state_b], [1.0, 3.0], reference=base)
+        for value in merged.values():
+            np.testing.assert_allclose(value, 0.75)
