@@ -1,0 +1,40 @@
+"""Concurrency & invariant analysis for the repro codebase.
+
+Two layers, one discipline (DESIGN.md "Static analysis & concurrency
+invariants"):
+
+- **static** (:mod:`.linter`, :mod:`.checks`) — an AST lint pass that
+  enforces the repo's hand-maintained concurrency conventions
+  mechanically: guarded-by annotations, inference-lock discipline,
+  no-blocking-under-mutex, no-tape-in-serving, atomic writes, thread
+  daemonization, no silent excepts, monotonic latency clocks.  Run it
+  with ``python -m repro.analysis`` (CI runs ``--fail-on-findings``).
+- **runtime** (:mod:`.runtime`) — traced lock wrappers that record the
+  global lock acquisition-order graph and fail on inversion cycles or
+  over-threshold holds/waits; activated inside the serve/federation
+  stress suites.
+"""
+
+from .findings import Finding
+from .linter import Baseline, Linter, SourceModule
+from .runtime import (
+    LockMonitor,
+    LockOrderError,
+    TracedLock,
+    instrument_collector,
+    instrument_model,
+    instrument_service,
+)
+
+__all__ = [
+    "Finding",
+    "Baseline",
+    "Linter",
+    "SourceModule",
+    "LockMonitor",
+    "LockOrderError",
+    "TracedLock",
+    "instrument_collector",
+    "instrument_model",
+    "instrument_service",
+]

@@ -1,0 +1,104 @@
+"""CLI: ``python -m repro.analysis [paths...] [--fail-on-findings]``.
+
+Runs every registered checker over the given paths (default:
+``src/repro`` when run from the repo root, else the installed package
+directory) and prints findings as text or JSON.  Exit status:
+
+- ``0`` — clean (or findings present but ``--fail-on-findings`` not set);
+- ``1`` — findings outside the baseline with ``--fail-on-findings``;
+- ``2`` — the baseline file contains stale (unmatched) entries, which
+  must be pruned so the allowlist never outlives its violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from .linter import Baseline, Linter
+
+DEFAULT_BASELINE = "analysis-baseline.txt"
+
+
+def _default_paths() -> list[str]:
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    return [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static concurrency & invariant analysis for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of accepted fingerprints (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit clean",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit 1 when any non-baselined finding remains (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or _default_paths()
+    findings = Linter().run_paths(paths)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        Path(baseline_path).write_text(Baseline.render(findings))
+        print(f"wrote {len(findings)} fingerprint(s) to {baseline_path}")
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline and os.path.exists(baseline_path):
+        baseline = Baseline.load(baseline_path)
+    new_findings = [f for f in findings if not baseline.contains(f)]
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in new_findings],
+                    "baselined": len(findings) - len(new_findings),
+                    "stale_baseline_entries": sorted(baseline.unused),
+                    "count": len(new_findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new_findings:
+            print(finding.format())
+        baselined = len(findings) - len(new_findings)
+        summary = f"{len(new_findings)} finding(s)"
+        if baselined:
+            summary += f", {baselined} baselined"
+        if baseline.unused:
+            summary += f", {len(baseline.unused)} stale baseline entr(y/ies)"
+        print(summary)
+
+    if baseline.unused:
+        for stale in sorted(baseline.unused):
+            print(f"stale baseline entry (no matching finding): {stale}", file=sys.stderr)
+        return 2
+    if new_findings and args.fail_on_findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

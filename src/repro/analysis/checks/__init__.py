@@ -1,0 +1,45 @@
+"""Checker registry.
+
+``all_checkers()`` returns one instance of every checker with its
+repo-default configuration — this is what the CLI and CI run.  Tests
+construct checkers directly with fixture-specific configuration.
+"""
+
+from __future__ import annotations
+
+from .base import Checker
+from .grad_mode import GradModeChecker, GradModeScope
+from .guarded_by import GuardedByChecker
+from .hygiene import (
+    AtomicWriteChecker,
+    SilentExceptChecker,
+    ThreadDisciplineChecker,
+    WallClockChecker,
+)
+from .lock_discipline import EntryLockRule, LockDisciplineChecker
+
+__all__ = [
+    "Checker",
+    "GuardedByChecker",
+    "LockDisciplineChecker",
+    "EntryLockRule",
+    "GradModeChecker",
+    "GradModeScope",
+    "AtomicWriteChecker",
+    "ThreadDisciplineChecker",
+    "SilentExceptChecker",
+    "WallClockChecker",
+    "all_checkers",
+]
+
+
+def all_checkers() -> list[Checker]:
+    return [
+        GuardedByChecker(),
+        LockDisciplineChecker(),
+        GradModeChecker(),
+        AtomicWriteChecker(),
+        ThreadDisciplineChecker(),
+        SilentExceptChecker(),
+        WallClockChecker(),
+    ]

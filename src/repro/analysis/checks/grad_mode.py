@@ -1,0 +1,119 @@
+"""No-tape-in-serving checker: forward passes in decode/serve paths run
+under ``nn.no_grad()``.
+
+The autodiff tape records every tensor op while grad is enabled; a
+serving path that forgets ``no_grad`` silently allocates tape nodes for
+every request — exactly the class of leak PR 5 fixed by making grad
+mode thread-local.  This checker pins the convention statically: inside
+the registered *serving scopes* (inference methods of the model, the
+beam driver, everything under ``serve/``), every call to a registered
+*forward op* must sit lexically inside a ``with nn.no_grad():`` (or
+bare ``no_grad()``) block.
+
+Training code (``core/trainer.py``, losses) is intentionally outside
+the scopes — it needs the tape.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatch
+
+from ..findings import Finding
+from ..linter import SourceModule
+from .base import Checker, dotted_name, iter_functions
+
+__all__ = ["GradModeChecker", "GradModeScope", "FORWARD_CALLS"]
+
+# Calls that run module forwards / record tape ops when grad is enabled.
+FORWARD_CALLS = frozenset(
+    {
+        "forward_batch",
+        "predict_log_nodes",
+        "encode_filter",
+        "column_embedding",
+        "step_logits_batch",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GradModeScope:
+    """Functions matching ``qualname_glob`` in files matching ``path_glob``."""
+
+    path_glob: str
+    qualname_glob: str
+
+
+# predict_log_nodes / forward_batch are deliberately NOT scopes: they
+# are the shared forward building blocks the trainer calls with the
+# tape on; the no_grad obligation sits on their inference-side callers.
+DEFAULT_SCOPES = (
+    GradModeScope("*core/model.py", "MTMLFQO.predict_cardinalities"),
+    GradModeScope("*core/model.py", "MTMLFQO.predict_costs"),
+    GradModeScope("*core/model.py", "MTMLFQO.predict_join_order"),
+    GradModeScope("*core/model.py", "MTMLFQO.predict_join_orders"),
+    GradModeScope("*core/model.py", "MTMLFQO._decode_candidate_chunks"),
+    GradModeScope("*core/model.py", "MTMLFQO._rerank_by_cost*"),
+    GradModeScope("*core/model.py", "MTMLFQO._node_content"),
+    GradModeScope("*core/beam.py", "drive_beam_states"),
+    GradModeScope("*/serve/*.py", "*"),
+)
+
+
+class GradModeChecker(Checker):
+    name = "grad-mode"
+    description = "serving-path forward calls wrapped in nn.no_grad()"
+
+    def __init__(self, scopes=DEFAULT_SCOPES, forward_calls=FORWARD_CALLS):
+        self.scopes = tuple(scopes)
+        self.forward_calls = frozenset(forward_calls)
+
+    def _in_scope(self, rel_path: str, qualname: str) -> bool:
+        return any(
+            fnmatch(rel_path, scope.path_glob) and fnmatch(qualname, scope.qualname_glob)
+            for scope in self.scopes
+        )
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for qual, _, func in iter_functions(module.tree):
+            if not self._in_scope(module.rel_path, qual):
+                continue
+            self._walk(module, func, under_no_grad=False, symbol=qual, findings=findings)
+        return findings
+
+    @staticmethod
+    def _enters_no_grad(node: ast.With) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                name = dotted_name(expr.func)
+                if name is not None and name.rsplit(".", 1)[-1] == "no_grad":
+                    return True
+        return False
+
+    def _walk(self, module, node, under_no_grad, symbol, findings) -> None:
+        if isinstance(node, ast.With) and self._enters_no_grad(node):
+            for child in node.body:
+                self._walk(module, child, True, symbol, findings)
+            return
+        if not under_no_grad and isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            leaf = name.rsplit(".", 1)[-1] if name else None
+            if leaf in self.forward_calls:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"forward call {leaf}() on a serving path outside "
+                        f"nn.no_grad() — this records autodiff tape per request",
+                        symbol=symbol,
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            # Nested defs get their own iter_functions visit.
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._walk(module, child, under_no_grad, symbol, findings)

@@ -1,0 +1,180 @@
+"""Guarded-by checker: annotated fields are only mutated under their lock.
+
+Declaration — either form, in the class's ``__init__``::
+
+    self._queue = deque()   # guarded-by: _mutex
+
+or a class-level registry for fields that cannot carry a comment::
+
+    _guarded_by_ = {"_queue": "_mutex"}
+
+Rule: every *mutation* of a guarded field (``self.f = ...``,
+``self.f += ...``, ``del self.f``, ``self.f[k] = ...``, or a call to a
+known mutating method like ``self.f.append(...)``) must sit lexically
+inside a ``with self.<lock>:`` block for the declared lock (a
+``threading.Condition`` built on that lock counts — acquiring the
+condition acquires the lock).
+
+Escape hatches, both meaning "my caller holds the lock":
+
+- methods whose name ends in ``_locked`` (the repo's suffix convention);
+- a ``# holds: <lock>`` comment on the ``def`` line.
+
+``__init__`` is exempt: no other thread can hold a reference before
+construction completes.  Reads are deliberately not checked — this is a
+mutation-discipline lint, not a full race detector.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..linter import SourceModule
+from .base import (
+    GUARDED_BY_RE,
+    HOLDS_RE,
+    Checker,
+    dotted_name,
+    iter_functions,
+    lock_attrs_of_class,
+    self_attr,
+)
+
+__all__ = ["GuardedByChecker", "MUTATORS"]
+
+# Method names that mutate their receiver in place (list/dict/set/deque/
+# OrderedDict surface used across the repo).
+MUTATORS = {
+    "append", "appendleft", "extend", "extendleft", "insert", "remove",
+    "pop", "popleft", "popitem", "clear", "add", "discard", "update",
+    "setdefault", "move_to_end", "sort", "reverse", "rotate",
+}
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__del__"}
+
+
+class GuardedByChecker(Checker):
+    name = "guarded-by"
+    description = "annotated fields mutated only under their declared lock"
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    # -- per class -----------------------------------------------------
+    def _check_class(self, module: SourceModule, cls: ast.ClassDef) -> list[Finding]:
+        guarded = self._guarded_fields(module, cls)
+        if not guarded:
+            return []
+        aliases, _ = lock_attrs_of_class(cls, module)
+        resolve = lambda name: aliases.get(name, name)
+        guarded = {field: resolve(lock) for field, lock in guarded.items()}
+
+        findings: list[Finding] = []
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name in _EXEMPT_METHODS or func.name.endswith("_locked"):
+                continue
+            held = self._declared_holds(module, func, resolve)
+            symbol = f"{cls.name}.{func.name}"
+            self._walk(module, func, guarded, resolve, held, symbol, findings)
+        return findings
+
+    def _guarded_fields(self, module: SourceModule, cls: ast.ClassDef) -> dict[str, str]:
+        guarded: dict[str, str] = {}
+        # Class-level registry: _guarded_by_ = {"field": "_lock"}.
+        for item in cls.body:
+            if (
+                isinstance(item, ast.Assign)
+                and len(item.targets) == 1
+                and isinstance(item.targets[0], ast.Name)
+                and item.targets[0].id == "_guarded_by_"
+                and isinstance(item.value, ast.Dict)
+            ):
+                for key, value in zip(item.value.keys, item.value.values):
+                    if isinstance(key, ast.Constant) and isinstance(value, ast.Constant):
+                        guarded[str(key.value)] = str(value.value)
+        # Comment annotations on __init__ assignments.
+        for item in cls.body:
+            if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+                continue
+            for node in ast.walk(item):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                match = GUARDED_BY_RE.search(module.comment_on(node.lineno))
+                if match is None:
+                    continue
+                for target in targets:
+                    field = self_attr(target)
+                    if field is not None:
+                        guarded[field] = match.group(1)
+        return guarded
+
+    @staticmethod
+    def _declared_holds(module: SourceModule, func: ast.FunctionDef, resolve) -> list[str]:
+        match = HOLDS_RE.search(module.comment_on(func.lineno))
+        if match is None:
+            return []
+        return [resolve(name.strip()) for name in match.group(1).split(",") if name.strip()]
+
+    # -- statement walk with a lock stack ------------------------------
+    def _walk(self, module, node, guarded, resolve, held, symbol, findings) -> None:
+        if isinstance(node, ast.With):
+            entered = list(held)
+            for item in node.items:
+                attr = self_attr(item.context_expr)
+                if attr is not None:
+                    entered.append(resolve(attr))
+            for child in node.body:
+                self._walk(module, child, guarded, resolve, entered, symbol, findings)
+            return
+        self._check_node(module, node, guarded, held, symbol, findings)
+        for child in ast.iter_child_nodes(node):
+            self._walk(module, child, guarded, resolve, held, symbol, findings)
+
+    def _check_node(self, module, node, guarded, held, symbol, findings) -> None:
+        def flag(field: str) -> None:
+            lock = guarded[field]
+            if lock not in held:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"self.{field} is declared guarded-by {lock} but is "
+                        f"mutated without holding it",
+                        symbol=symbol,
+                    )
+                )
+
+        def mutated_target(target: ast.AST) -> None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    mutated_target(element)
+                return
+            if isinstance(target, (ast.Subscript, ast.Starred)):
+                mutated_target(target.value)
+                return
+            field = self_attr(target)
+            if field is not None and field in guarded:
+                flag(field)
+
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                mutated_target(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            mutated_target(node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                mutated_target(target)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+                field = self_attr(func.value)
+                if field is not None and field in guarded:
+                    flag(field)

@@ -145,7 +145,11 @@ def _read_archive(
         raise CheckpointError(f"no checkpoint at {path!r}")
     arrays: dict[str, np.ndarray] = {}
     try:
-        with np.load(path) as archive:
+        # Own the file handle: np.load(path) opens the fd itself and
+        # leaks it when the constructor raises before the NpzFile exists
+        # (e.g. BadZipFile on a truncated file); the outer `with open`
+        # closes it on every path.
+        with open(path, "rb") as handle, np.load(handle) as archive:
             if _META_KEY not in archive.files:
                 raise CheckpointError(f"{path!r} is not an MTMLF-QO checkpoint (no metadata)")
             meta_raw = archive[_META_KEY]

@@ -108,27 +108,27 @@ class MTMLFQO(nn.Module):
         self.card_head = EstimationHead(self.config, rng)
         self.cost_head = EstimationHead(self.config, rng)
         self.trans_jo = TransJO(self.config, rng)
-        self.featurizers: dict[str, DatabaseFeaturizer] = {}
-        self._cache = FeatureCache(self.config.feature_cache_size)
+        self.featurizers: dict[str, DatabaseFeaturizer] = {}  # guarded-by: _infer_lock
+        self._cache = FeatureCache(self.config.feature_cache_size)  # guarded-by: _infer_lock
         # Node-content memo: a scan node's content depends only on
         # (table, filter) and a join node's only on its predicate
         # columns, so distinct plans over one query (rerank probes,
         # alternative orders) share almost every node.  Memoizing here
         # skips the per-node encoder forwards (the (F) LSTM over filter
         # predicates) that dominate encode_query on repeat traffic.
-        self._node_cache = FeatureCache(self.config.feature_cache_size)
+        self._node_cache = FeatureCache(self.config.feature_cache_size)  # guarded-by: _infer_lock
         # Serializes concurrent *inference* through the model: the public
         # inference entry points (predict_*, beam_candidates_batch) and
         # mode flips all acquire it, so direct calls are safe alongside a
         # running serving session.  It does NOT make training concurrent
         # with serving safe — trainer steps mutate weights and caches
         # outside this lock; retrain offline, then mark_updated().
-        self._infer_lock = threading.RLock()
+        self._infer_lock = threading.RLock()  # analysis: coarse-lock
         # Bumped whenever the model's outputs may have changed
         # (attach_featurizer, trainer runs).  Downstream result caches —
         # the serving layer's plan cache — embed it in their keys so
         # entries computed against old weights can never hit again.
-        self.version = 0
+        self.version = 0  # guarded-by: _infer_lock
 
     # -- Module plumbing ------------------------------------------------------
     def named_parameters(self, prefix: str = ""):
@@ -257,7 +257,7 @@ class MTMLFQO(nn.Module):
             out[13] = len(node.right.tables) / 10.0
         return out
 
-    def _node_content(self, db_name: str, node: PlanNode, featurizer: DatabaseFeaturizer) -> np.ndarray:
+    def _node_content(self, db_name: str, node: PlanNode, featurizer: DatabaseFeaturizer) -> np.ndarray:  # holds: _infer_lock
         """The d_model content slice of a node's raw features (detached).
 
         Memoized per structural node identity: scan content depends only
@@ -297,7 +297,7 @@ class MTMLFQO(nn.Module):
         self._node_cache.put(key, content)
         return content
 
-    def encode_query(self, db_name: str, labeled: LabeledQuery) -> EncodedQuery:
+    def encode_query(self, db_name: str, labeled: LabeledQuery) -> EncodedQuery:  # holds: _infer_lock
         """Run the (F) module on one query's plan.
 
         Cached in a bounded LRU keyed by the plan's structural signature,

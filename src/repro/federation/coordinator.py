@@ -98,12 +98,19 @@ class FleetCoordinator:
     ):
         self.config = config or FleetConfig()
         self.global_model = global_model or MTMLFQO(model_config)
-        self.tenants: dict[str, TenantNode] = {}
-        self.rounds: list[FleetRound] = []
-        self.reverted_rounds = 0
-        self.round_failures = 0
-        self.tenant_failures = 0
-        self._round_lock = threading.Lock()
+        self.tenants: dict[str, TenantNode] = {}  # guarded-by: _tenants_lock
+        self.rounds: list[FleetRound] = []  # guarded-by: _stats_lock
+        self.reverted_rounds = 0  # guarded-by: _stats_lock
+        self.round_failures = 0  # guarded-by: _stats_lock
+        self.tenant_failures = 0  # guarded-by: _stats_lock
+        # Serializes rounds; held across an entire broadcast → push
+        # cycle (including per-tenant harvest threads) by design.
+        self._round_lock = threading.Lock()  # analysis: coarse-lock
+        # Leaf lock for the round/failure counters above: they are
+        # written from the loop thread mid-round and read by report()
+        # from any thread, and must not require the (long-held) round
+        # lock to observe.
+        self._stats_lock = threading.Lock()
         # Guards the tenant registry: register()/onboard() may run on
         # the caller's thread while the background loop iterates the
         # fleet — unguarded, that iteration would die mid-round with
@@ -198,7 +205,8 @@ class FleetCoordinator:
             return self._run_round_locked()
 
     def _run_round_locked(self) -> FleetRound:
-        round_ = FleetRound(index=len(self.rounds))
+        with self._stats_lock:
+            round_ = FleetRound(index=len(self.rounds))
         broadcast = self.global_state()
         tenants = self._tenant_snapshot()
 
@@ -224,7 +232,8 @@ class FleetCoordinator:
             update = results.get(tenant_name)
             if isinstance(update, BaseException):
                 round_.failed.append(tenant_name)
-                self.tenant_failures += 1
+                with self._stats_lock:
+                    self.tenant_failures += 1
                 continue
             if update is None:
                 round_.skipped.append(tenant_name)
@@ -247,7 +256,8 @@ class FleetCoordinator:
                 self._abandon_round(round_, tenants)
                 raise
 
-        self.rounds.append(round_)
+        with self._stats_lock:
+            self.rounds.append(round_)
         return round_
 
     def _merge_and_push(self, round_: FleetRound, tenants, states, weights) -> None:
@@ -295,7 +305,8 @@ class FleetCoordinator:
             outcome = outcomes.get(tenant_name)
             if isinstance(outcome, BaseException):
                 round_.failed.append(tenant_name)
-                self.tenant_failures += 1
+                with self._stats_lock:
+                    self.tenant_failures += 1
             elif outcome is True:
                 round_.accepted.append(tenant_name)
             elif outcome is False:
@@ -320,7 +331,8 @@ class FleetCoordinator:
             # of the revert setting.
             self._abandon_round(round_, tenants)
             round_.reverted = True
-            self.reverted_rounds += 1
+            with self._stats_lock:
+                self.reverted_rounds += 1
             return
         with self._global_lock:
             self.global_model.load_state_dict(merged)
@@ -382,7 +394,8 @@ class FleetCoordinator:
                     # The loop must survive anything; back off so a
                     # persistent failure (unwritable checkpoint dir)
                     # cannot hot-spin training rounds.
-                    self.round_failures += 1
+                    with self._stats_lock:
+                        self.round_failures += 1
                     self._stop.wait(backoff_s)
                 else:
                     # A reverted round returned its participants'
@@ -422,12 +435,17 @@ class FleetCoordinator:
     def report(self) -> FleetReport:
         """Merge every tenant's ServingReport into one fleet view."""
         tenants = self._tenant_snapshot()
-        return FleetReport(
-            tenants={name: tenant.report() for name, tenant in tenants},
-            tenant_counters={name: tenant.counters() for name, tenant in tenants},
-            rounds=len(self.rounds),
-            reverted_rounds=self.reverted_rounds,
-            round_failures=self.round_failures,
-            tenant_failures=self.tenant_failures,
-            last_round=self.rounds[-1] if self.rounds else None,
-        )
+        # Tenant reports take the tenants' own locks — gather them
+        # before entering the stats lock so it stays a leaf.
+        tenant_reports = {name: tenant.report() for name, tenant in tenants}
+        tenant_counters = {name: tenant.counters() for name, tenant in tenants}
+        with self._stats_lock:
+            return FleetReport(
+                tenants=tenant_reports,
+                tenant_counters=tenant_counters,
+                rounds=len(self.rounds),
+                reverted_rounds=self.reverted_rounds,
+                round_failures=self.round_failures,
+                tenant_failures=self.tenant_failures,
+                last_round=self.rounds[-1] if self.rounds else None,
+            )

@@ -75,25 +75,25 @@ class TenantNode:
         self._lock = threading.Lock()
         # buffer.added observed at the last harvest: experience counts
         # as "fresh" until it has been contributed to a round.
-        self._harvested = 0
+        self._harvested = 0  # guarded-by: _lock
         # Pre-harvest cursor of the latest local_update, for
         # rollback_harvest() when the round is reverted.
-        self._harvest_rollback: int | None = None
+        self._harvest_rollback: int | None = None  # guarded-by: _lock
         # Name-keyed Adam moments carried across rounds (PR-3 state-dict
         # machinery): each round's private trainer resumes this tenant's
         # optimizer trajectory instead of re-warming from zero.
-        self._optimizer_state: dict | None = None
-        self._local_rounds = 0
+        self._optimizer_state: dict | None = None  # guarded-by: _lock
+        self._local_rounds = 0  # guarded-by: _lock
         # Validation slice held out by the most recent local_update; the
         # push phase of the same round gates on it so train/validation
         # isolation holds within a round.
-        self._pending_validation: list[LabeledQuery] = []
-        self.last_gate: GateResult | None = None
-        self.rounds_participated = 0
-        self.rounds_skipped = 0
-        self.global_accepted = 0
-        self.global_rejected = 0
-        self.gate_unvalidated = 0
+        self._pending_validation: list[LabeledQuery] = []  # guarded-by: _lock
+        self.last_gate: GateResult | None = None  # guarded-by: _lock
+        self.rounds_participated = 0  # guarded-by: _lock
+        self.rounds_skipped = 0  # guarded-by: _lock
+        self.global_accepted = 0  # guarded-by: _lock
+        self.global_rejected = 0  # guarded-by: _lock
+        self.gate_unvalidated = 0  # guarded-by: _lock
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "TenantNode":
@@ -153,7 +153,9 @@ class TenantNode:
         them by.
         """
         experience, added = self.buffer.snapshot_with_added()
-        if added - self._harvested < self.config.min_new_experience or not experience:
+        with self._lock:
+            harvested = self._harvested
+        if added - harvested < self.config.min_new_experience or not experience:
             with self._lock:
                 self.rounds_skipped += 1
             return None
@@ -162,19 +164,21 @@ class TenantNode:
         )
         model = self._private_model(global_state)
         trainer = JointTrainer(model, learning_rate=self.config.learning_rate)
-        if self._optimizer_state is not None:
-            trainer.optimizer.load_state_dict(self._optimizer_state)
         with self._lock:
+            optimizer_state = self._optimizer_state
             self._local_rounds += 1
             seed = self.config.seed + self._local_rounds - 1
+        if optimizer_state is not None:
+            trainer.optimizer.load_state_dict(optimizer_state)
         trainer.train(
             [(self.db.name, item) for item in train_slice],
             epochs=self.config.fine_tune_epochs,
             batch_size=self.config.batch_size,
             seed=seed,
         )
-        self._optimizer_state = trainer.optimizer.state_dict()
+        optimizer_state = trainer.optimizer.state_dict()
         with self._lock:
+            self._optimizer_state = optimizer_state
             # Remember the pre-harvest cursor: if the coordinator
             # reverts this round, rollback_harvest() returns the
             # experience credit (the deduped buffer cannot re-admit the

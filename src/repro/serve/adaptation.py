@@ -226,17 +226,17 @@ class AdaptationWorker:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._consumed = 0              # buffer.added seen at last retrain
-        self._latest_checkpoint: str | None = None
+        self._consumed = 0              # guarded-by: _lock — buffer.added seen at last retrain
+        self._latest_checkpoint: str | None = None  # guarded-by: _lock
         self._own_checkpoint_dir: str | None = None
-        self.retrains = 0
-        self.swaps_accepted = 0
-        self.swaps_rejected = 0
+        self.retrains = 0  # guarded-by: _lock
+        self.swaps_accepted = 0  # guarded-by: _lock
+        self.swaps_rejected = 0  # guarded-by: _lock
         # Cycles that died on infrastructure (load/training error), NOT
         # gate rejections — kept apart so `swaps_rejected` keeps meaning
         # "the regression gate blocked a candidate".
-        self.cycles_failed = 0
-        self.last_gate: GateResult | None = None
+        self.cycles_failed = 0  # guarded-by: _lock
+        self.last_gate: GateResult | None = None  # guarded-by: _lock
         # Surface this worker's counters through service.report().
         service.adaptation = self
 
@@ -260,7 +260,8 @@ class AdaptationWorker:
         if self._own_checkpoint_dir is not None:
             shutil.rmtree(self._own_checkpoint_dir, ignore_errors=True)
             self._own_checkpoint_dir = None
-            self._latest_checkpoint = None
+            with self._lock:
+                self._latest_checkpoint = None
 
     def __enter__(self) -> "AdaptationWorker":
         return self.start()
@@ -303,13 +304,18 @@ class AdaptationWorker:
 
     def _base_checkpoint(self) -> str:
         """The warm-start point: latest accepted, else the live model."""
-        if self._latest_checkpoint is None:
+        with self._lock:
+            latest = self._latest_checkpoint
+        if latest is None:
             live = self.service._serving_state()[0].model
             path = os.path.join(self._checkpoint_dir(), "base")
             # JointTrainer(live) only builds an Adam over the live
             # parameters (fresh moments); it never steps them here.
-            self._latest_checkpoint = JointTrainer(live).save_checkpoint(path)
-        return self._latest_checkpoint
+            # Saved outside _lock: checkpointing is disk I/O.
+            latest = JointTrainer(live).save_checkpoint(path)
+            with self._lock:
+                self._latest_checkpoint = latest
+        return latest
 
     def _split(self, experience: list[LabeledQuery]) -> tuple[list[LabeledQuery], list[LabeledQuery]]:
         """Deterministic (train, validation) split; see :func:`split_experience`."""
@@ -328,6 +334,7 @@ class AdaptationWorker:
         )
         with self._lock:
             self.retrains += 1
+            retrain_index = self.retrains
         # Seed varies per cycle: a retry after a gate rejection (with
         # more experience) explores a different batch order instead of
         # replaying the rejected run's schedule.
@@ -335,19 +342,19 @@ class AdaptationWorker:
             [(self.db.name, item) for item in train_slice],
             epochs=self.config.fine_tune_epochs,
             batch_size=self.config.batch_size,
-            seed=self.config.seed + self.retrains - 1,
+            seed=self.config.seed + retrain_index - 1,
         )
         candidate = trainer.model
 
         gate = self._evaluate_gate(live, candidate, val_slice)
-        self.last_gate = gate
         if not gate.accepted:
             # Experience is marked consumed only when a cycle completes
             # (here, and after a successful install below): a crash at
             # any earlier — or later — point leaves the trigger credit
             # intact, so the retry trains on the same data.
-            self._consumed = max(self._consumed, added_at_snapshot)
             with self._lock:
+                self.last_gate = gate
+                self._consumed = max(self._consumed, added_at_snapshot)
                 self.swaps_rejected += 1
             return False
         # Persist, install, and only then advance the warm-start lineage:
@@ -357,12 +364,13 @@ class AdaptationWorker:
         # become the next cycle's base — only installed models join the
         # lineage.
         path = trainer.save_checkpoint(
-            os.path.join(self._checkpoint_dir(), f"adapt-{self.retrains:04d}")
+            os.path.join(self._checkpoint_dir(), f"adapt-{retrain_index:04d}")
         )
         self.service.swap_model(candidate)
-        self._latest_checkpoint = path
-        self._consumed = max(self._consumed, added_at_snapshot)
         with self._lock:
+            self.last_gate = gate
+            self._latest_checkpoint = path
+            self._consumed = max(self._consumed, added_at_snapshot)
             self.swaps_accepted += 1
         return True
 

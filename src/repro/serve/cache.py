@@ -29,10 +29,10 @@ class PlanCache:
         if maxsize < 0:
             raise ValueError(f"cache size must be >= 0, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, list[str]]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, list[str]]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     @property
     def enabled(self) -> bool:

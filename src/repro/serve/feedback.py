@@ -53,10 +53,10 @@ class ExperienceBuffer:
             raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[tuple, LabeledQuery]" = OrderedDict()
-        self.added = 0      # unique experiences accepted (monotonic)
-        self.deduped = 0    # adds dropped because the signature is present
-        self.evicted = 0    # oldest entries pushed out by the bound
+        self._entries: "OrderedDict[tuple, LabeledQuery]" = OrderedDict()  # guarded-by: _lock
+        self.added = 0      # guarded-by: _lock — unique experiences accepted (monotonic)
+        self.deduped = 0    # guarded-by: _lock — adds dropped: signature present
+        self.evicted = 0    # guarded-by: _lock — oldest entries pushed out by the bound
 
     def seen(self, signature: tuple) -> bool:
         with self._lock:
@@ -170,8 +170,8 @@ class FeedbackCollector:
             max_intermediate_rows=self.config.max_intermediate_rows,
         )
         self.buffer = ExperienceBuffer(self.config.buffer_capacity)
-        self._queue: "deque[tuple[tuple, LabeledQuery, list[str]]]" = deque()
-        self._pending: set[tuple] = set()   # signatures queued or in flight
+        self._queue: "deque[tuple[tuple, LabeledQuery, list[str]]]" = deque()  # guarded-by: _mutex
+        self._pending: set[tuple] = set()   # guarded-by: _mutex — signatures queued or in flight
         # Signatures whose execution was recently rejected (over limit,
         # disconnected, error) mapped to the rejection time: a hot
         # pathological query must not make the worker re-execute a
@@ -179,18 +179,18 @@ class FeedbackCollector:
         # ``rejected_retry_s`` (a later swap may serve an executable
         # order for the same query) and the map is FIFO-bounded so it
         # can never grow past the recent-rejection working set.
-        self._recent_rejected: "OrderedDict[tuple, float]" = OrderedDict()
+        self._recent_rejected: "OrderedDict[tuple, float]" = OrderedDict()  # guarded-by: _mutex
         self._recent_rejected_bound = max(self.config.buffer_capacity, 64)
         self._mutex = threading.Lock()
         self._wakeup = threading.Condition(self._mutex)
         self._idle = threading.Condition(self._mutex)
-        self._busy = False
-        self._running = False
-        self._worker: threading.Thread | None = None
+        self._busy = False  # guarded-by: _mutex
+        self._running = False  # guarded-by: _mutex
+        self._worker: threading.Thread | None = None  # guarded-by: _mutex
         # Counters (all under _mutex except buffer's own).
-        self.submitted = 0
-        self.dropped_full = 0
-        self.rejected_by_reason: dict[str, int] = {}
+        self.submitted = 0  # guarded-by: _mutex
+        self.dropped_full = 0  # guarded-by: _mutex
+        self.rejected_by_reason: dict[str, int] = {}  # guarded-by: _mutex
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "FeedbackCollector":
@@ -213,7 +213,8 @@ class FeedbackCollector:
             self._wakeup.notify_all()
             worker = self._worker
         worker.join()
-        self._worker = None
+        with self._mutex:
+            self._worker = None
 
     def __enter__(self) -> "FeedbackCollector":
         return self.start()
@@ -328,6 +329,6 @@ class FeedbackCollector:
     def rejection_reasons(self) -> dict[str, int]:
         with self._mutex:
             reasons = dict(self.rejected_by_reason)
-        if self.dropped_full:
-            reasons["queue_full"] = self.dropped_full
+            if self.dropped_full:
+                reasons["queue_full"] = self.dropped_full
         return reasons

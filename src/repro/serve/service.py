@@ -105,20 +105,20 @@ class OptimizerService:
     def __init__(self, model, db_name: str, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.db_name = db_name
-        self.session = model.inference_session(db_name)
+        self.session = model.inference_session(db_name)  # guarded-by: _mutex
         self.cache = PlanCache(self.config.plan_cache_size)
         self.stats = ServiceStats()
-        self._queue: "deque[_Request]" = deque()
+        self._queue: "deque[_Request]" = deque()  # guarded-by: _mutex
         self._mutex = threading.Lock()
         self._nonempty = threading.Condition(self._mutex)
-        self._running = False
-        self._drainer: threading.Thread | None = None
+        self._running = False  # guarded-by: _mutex
+        self._drainer: threading.Thread | None = None  # guarded-by: _mutex
         # Bumped by swap_model and embedded in every cache key: model
         # `version` counters are per-instance, so two independently built
         # models can share a version number — the epoch guarantees a
         # post-swap request can never be answered from the pre-swap
         # model's cache entries even then.
-        self._epoch = 0
+        self._epoch = 0  # guarded-by: _mutex
         # Optional online-adaptation hooks: a FeedbackCollector served
         # orders are forwarded to (attach_feedback) and an
         # AdaptationWorker (registers itself) whose counters report()
@@ -149,7 +149,8 @@ class OptimizerService:
             self._nonempty.notify_all()
             drainer = self._drainer
         drainer.join()
-        self._drainer = None
+        with self._mutex:
+            self._drainer = None
 
     def __enter__(self) -> "OptimizerService":
         return self.start()
@@ -364,7 +365,8 @@ class OptimizerService:
                         request.fail(error)
 
     def _process_batch(self, batch: list[_Request], session=None) -> None:
-        session = session or self.session
+        if session is None:
+            session, _ = self._serving_state()
         # 0. Drop requests whose waiter already timed out and left.
         batch = [request for request in batch if not request.abandoned]
         if not batch:
@@ -430,7 +432,8 @@ class OptimizerService:
         Each distinct query is retried solo so an error poisons only its
         own requesters; the healthy rest of the batch still gets orders.
         """
-        session = session or self.session
+        if session is None:
+            session, _ = self._serving_state()
         for key, requests in runnable:
             try:
                 order = session.predict_join_orders(

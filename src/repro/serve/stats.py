@@ -80,19 +80,19 @@ class ServiceStats:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)
-        self.completed = 0
-        self.rejected = 0
-        self.failed = 0
-        self.coalesced = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.model_calls = 0
-        self.max_batch = 0
-        self.swaps = 0
-        self.timeout_near_misses = 0
-        self._first_request_at: float | None = None
-        self._last_done_at: float | None = None
+        self._latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.failed = 0  # guarded-by: _lock
+        self.coalesced = 0  # guarded-by: _lock
+        self.batches = 0  # guarded-by: _lock
+        self.batched_requests = 0  # guarded-by: _lock
+        self.model_calls = 0  # guarded-by: _lock
+        self.max_batch = 0  # guarded-by: _lock
+        self.swaps = 0  # guarded-by: _lock
+        self.timeout_near_misses = 0  # guarded-by: _lock
+        self._first_request_at: float | None = None  # guarded-by: _lock
+        self._last_done_at: float | None = None  # guarded-by: _lock
 
     # -- writers (service-internal) ------------------------------------
     def note_request(self) -> float:

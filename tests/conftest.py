@@ -12,6 +12,8 @@ failing fast with the evidence instead of hanging.
 
 import faulthandler
 import os
+import threading
+import traceback
 
 import pytest
 
@@ -28,6 +30,41 @@ def pytest_configure(config):
         f"watchdog that dumps all stacks and aborts after {WATCHDOG_S:.0f}s "
         "(override via REPRO_TEST_WATCHDOG_S)",
     )
+
+
+@pytest.fixture(autouse=True)
+def _fail_on_thread_exceptions():
+    """Fail a test loudly when a background thread dies on an exception.
+
+    ``threading.excepthook`` only prints to stderr by default, so an
+    uncaught exception in a worker (drain loop, feedback collector,
+    federation harvest thread) would pass the test and surface — maybe —
+    as a hang or a missing counter much later.  Every repo worker loop
+    is written to survive exceptions; anything reaching the hook is a
+    bug by definition.  SystemExit is exempt (the normal way to end a
+    thread early).
+    """
+    failures: list[threading.ExceptHookArgs] = []
+    previous = threading.excepthook
+
+    def record(args: threading.ExceptHookArgs) -> None:
+        if args.exc_type is SystemExit:
+            return
+        failures.append(args)
+        previous(args)
+
+    threading.excepthook = record
+    try:
+        yield
+    finally:
+        threading.excepthook = previous
+    if failures:
+        rendered = "\n\n".join(
+            f"in thread {args.thread.name if args.thread else '?'}:\n"
+            + "".join(traceback.format_exception(args.exc_type, args.exc_value, args.exc_traceback))
+            for args in failures
+        )
+        pytest.fail(f"uncaught exception(s) in background thread(s):\n{rendered}")
 
 
 @pytest.fixture(autouse=True)

@@ -137,7 +137,8 @@ class TestErrorPaths:
 
     def test_not_a_checkpoint(self, db, tmp_path):
         path = str(tmp_path / "plain.npz")
-        np.savez(open(path, "wb"), weight=np.zeros(3))
+        with open(path, "wb") as handle:
+            np.savez(handle, weight=np.zeros(3))
         with pytest.raises(CheckpointError, match="not an MTMLF-QO checkpoint"):
             load_checkpoint(path, databases=db)
 

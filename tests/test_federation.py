@@ -6,6 +6,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.analysis import LockMonitor, instrument_collector, instrument_model, instrument_service
 from repro.core import (
     DatabaseFeaturizer,
     JointTrainer,
@@ -391,11 +392,18 @@ class TestFleetStress:
         request is answered exactly once with a legal permutation."""
         tenants, global_state = fixture
         config = tiny_fleet_config(fine_tune_epochs=3, regret_tolerance_ms=1e9)
+        # One lock-order graph spans every tenant's service mutex,
+        # collector mutex and serving model inference lock: a cross-layer
+        # inversion introduced anywhere in the fleet fails this test.
+        lock_monitor = LockMonitor()
         with FleetCoordinator(TINY, config) as fleet:
             fleet.global_model.load_state_dict(global_state)
             nodes = []
             for db, featurizer, pool in tenants[:2]:
                 tenant = fleet.register(make_tenant(db, featurizer, global_state, config))
+                instrument_model(tenant.live_model, lock_monitor, name=f"model[{tenant.name}]")
+                instrument_service(tenant.service, lock_monitor)
+                instrument_collector(tenant.collector, lock_monitor)
                 tenant.inject_experience(pool[:6])
                 nodes.append((tenant, pool))
 
@@ -441,3 +449,4 @@ class TestFleetStress:
                 assert sorted(order) == sorted(item.query.tables)
             assert round_.merged
             assert round_.accepted  # the tolerance guarantees swaps landed
+            lock_monitor.assert_clean()  # no inversion across the fleet's locks
