@@ -98,6 +98,10 @@ def main() -> None:
     # Callers submit ONE query at a time from many threads; the service
     # coalesces them into the batched decode path and caches plans by
     # structural signature.  Orders are identical to direct calls.
+    # To scale decoding across cores, pass ServeConfig(num_replicas=N):
+    # the service then keeps N read-only model replicas (bit-identical
+    # state-dict clones) with one drain worker each, so batches decode
+    # concurrently instead of serializing on one inference lock.
     served: dict[int, list[str]] = {}
     with OptimizerService(model, db.name, ServeConfig(max_batch_size=8, max_wait_ms=3.0)) as service:
         def client(index, item):

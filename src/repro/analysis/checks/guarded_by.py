@@ -8,12 +8,23 @@ or a class-level registry for fields that cannot carry a comment::
 
     _guarded_by_ = {"_queue": "_mutex"}
 
-Rule: every *mutation* of a guarded field (``self.f = ...``,
-``self.f += ...``, ``del self.f``, ``self.f[k] = ...``, or a call to a
-known mutating method like ``self.f.append(...)``) must sit lexically
-inside a ``with self.<lock>:`` block for the declared lock (a
+Rule: every *access* to a guarded field must sit lexically inside a
+``with self.<lock>:`` block for the declared lock (a
 ``threading.Condition`` built on that lock counts — acquiring the
-condition acquires the lock).
+condition acquires the lock).  Both directions are checked:
+
+- **mutations** — ``self.f = ...``, ``self.f += ...``, ``del self.f``,
+  ``self.f[k] = ...``, or a call to a known mutating method like
+  ``self.f.append(...)``;
+- **reads** — any ``self.f`` in load context outside the lock.  A read
+  racing a write sees torn or stale state just as surely as two writes
+  corrupt it (the bug class behind ``optimize()``'s old unsynchronized
+  ``self._running`` fast path), so an annotation means *all* access is
+  serialized, not just stores.
+
+An access that the mutation rules already claimed (the ``self.f`` inside
+``self.f.append(...)`` or ``self.f[k] = v``) is never double-reported as
+a read.
 
 Escape hatches, both meaning "my caller holds the lock":
 
@@ -21,8 +32,7 @@ Escape hatches, both meaning "my caller holds the lock":
 - a ``# holds: <lock>`` comment on the ``def`` line.
 
 ``__init__`` is exempt: no other thread can hold a reference before
-construction completes.  Reads are deliberately not checked — this is a
-mutation-discipline lint, not a full race detector.
+construction completes.
 """
 
 from __future__ import annotations
@@ -56,7 +66,7 @@ _EXEMPT_METHODS = {"__init__", "__new__", "__del__"}
 
 class GuardedByChecker(Checker):
     name = "guarded-by"
-    description = "annotated fields mutated only under their declared lock"
+    description = "annotated fields accessed only under their declared lock"
 
     def check(self, module: SourceModule) -> list[Finding]:
         findings: list[Finding] = []
@@ -82,7 +92,11 @@ class GuardedByChecker(Checker):
                 continue
             held = self._declared_holds(module, func, resolve)
             symbol = f"{cls.name}.{func.name}"
-            self._walk(module, func, guarded, resolve, held, symbol, findings)
+            # Attribute nodes the mutation rules already claimed (the
+            # `self.f` inside `self.f.append(...)` / `self.f[k] = v`),
+            # so the read rule never reports the same access twice.
+            consumed: set[int] = set()
+            self._walk(module, func, guarded, resolve, held, symbol, findings, consumed)
         return findings
 
     def _guarded_fields(self, module: SourceModule, cls: ast.ClassDef) -> dict[str, str]:
@@ -124,30 +138,33 @@ class GuardedByChecker(Checker):
         return [resolve(name.strip()) for name in match.group(1).split(",") if name.strip()]
 
     # -- statement walk with a lock stack ------------------------------
-    def _walk(self, module, node, guarded, resolve, held, symbol, findings) -> None:
+    def _walk(self, module, node, guarded, resolve, held, symbol, findings, consumed) -> None:
         if isinstance(node, ast.With):
             entered = list(held)
             for item in node.items:
                 attr = self_attr(item.context_expr)
                 if attr is not None:
                     entered.append(resolve(attr))
+            # The context expressions themselves (`with self._mutex:`)
+            # run before the lock is held, but naming a lock is not an
+            # access to guarded state — recurse only into the body.
             for child in node.body:
-                self._walk(module, child, guarded, resolve, entered, symbol, findings)
+                self._walk(module, child, guarded, resolve, entered, symbol, findings, consumed)
             return
-        self._check_node(module, node, guarded, held, symbol, findings)
+        self._check_node(module, node, guarded, held, symbol, findings, consumed)
         for child in ast.iter_child_nodes(node):
-            self._walk(module, child, guarded, resolve, held, symbol, findings)
+            self._walk(module, child, guarded, resolve, held, symbol, findings, consumed)
 
-    def _check_node(self, module, node, guarded, held, symbol, findings) -> None:
-        def flag(field: str) -> None:
+    def _check_node(self, module, node, guarded, held, symbol, findings, consumed) -> None:
+        def flag(field: str, verb: str, at: ast.AST) -> None:
             lock = guarded[field]
             if lock not in held:
                 findings.append(
                     self.finding(
                         module,
-                        node,
+                        at,
                         f"self.{field} is declared guarded-by {lock} but is "
-                        f"mutated without holding it",
+                        f"{verb} without holding it",
                         symbol=symbol,
                     )
                 )
@@ -162,7 +179,11 @@ class GuardedByChecker(Checker):
                 return
             field = self_attr(target)
             if field is not None and field in guarded:
-                flag(field)
+                # Claim the node whether or not it flags: an in-lock
+                # mutation must not resurface as a "read" finding when
+                # the walk reaches the Attribute itself.
+                consumed.add(id(target))
+                flag(field, "mutated", node)
 
         if isinstance(node, ast.Assign):
             for target in node.targets:
@@ -177,4 +198,10 @@ class GuardedByChecker(Checker):
             if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
                 field = self_attr(func.value)
                 if field is not None and field in guarded:
-                    flag(field)
+                    consumed.add(id(func.value))
+                    flag(field, "mutated", node)
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            if id(node) not in consumed:
+                field = self_attr(node)
+                if field is not None and field in guarded:
+                    flag(field, "read", node)

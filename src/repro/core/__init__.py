@@ -13,6 +13,7 @@ from .checkpoint import (
     load_checkpoint,
     load_optimizer_state,
     read_checkpoint_meta,
+    replicate_model,
     save_checkpoint,
 )
 from .beam import (
@@ -70,6 +71,7 @@ __all__ = [
     "load_checkpoint",
     "load_optimizer_state",
     "read_checkpoint_meta",
+    "replicate_model",
     "PredicateFeaturizer",
     "TableEncoder",
     "DatabaseFeaturizer",

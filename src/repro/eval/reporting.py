@@ -81,6 +81,17 @@ def format_serving_report(report: "ServingReport", title: str = "Optimizer servi
     )
     lines.append(f"{'coalesced requests':<22}{report.coalesced:>12,}")
     lines.append(f"{'model calls':<22}{report.model_calls:>12,}")
+    if report.num_replicas > 1:
+        utilization = "  ".join(
+            f"#{index} {100 * share:.0f}%"
+            for index, share in enumerate(report.replica_utilization)
+        )
+        lines.append(f"{'replica pool':<22}{report.num_replicas:>12,} replicas")
+        lines.append(f"{'replica utilization':<24}{'':>0}{utilization}")
+        lines.append(
+            f"{'replica batches':<24}"
+            + "  ".join(f"#{i} {n:,}" for i, n in enumerate(report.replica_batches))
+        )
     if report.swaps:
         lines.append(f"{'model hot-swaps':<22}{report.swaps:>12,}")
     if report.timeout_near_misses:
@@ -102,6 +113,11 @@ def format_serving_report(report: "ServingReport", title: str = "Optimizer servi
         f"  {report.cache_misses:,} misses"
         f"  ({100 * report.cache_hit_rate:.0f}% hit rate, {report.cache_entries:,} entries)"
     )
+    if report.retired_cache_hits or report.retired_cache_misses:
+        lines.append(
+            f"{'cache (pre-swap epochs)':<24}{report.retired_cache_hits:>10,} hits"
+            f"  {report.retired_cache_misses:,} misses"
+        )
     if report.latency is not None:
         lines.append(f"{'latency':<22}{'':>2}{report.latency}")
     return "\n".join(lines)

@@ -33,6 +33,7 @@ from ..core.serializer import query_signature
 from ..core.trainer import JointTrainer
 from ..optimizer.selectivity import HistogramEstimator
 from ..serve.adaptation import GateResult, evaluate_regret_gate, split_experience
+from ..serve.config import ServeConfig
 from ..serve.feedback import FeedbackCollector, FeedbackConfig
 from ..serve.service import OptimizerService
 from ..serve.stats import ServingReport
@@ -67,6 +68,10 @@ class TenantNode:
         self.config = config or FleetConfig()
         self.name = name or db.name
         model.featurizer_for(db.name)  # fail fast on a missing (F) module
+        if serve_config is None:
+            # Tenants serve through a replica pool sized by the fleet
+            # config; an explicit serve_config overrides it wholesale.
+            serve_config = ServeConfig(num_replicas=self.config.num_replicas)
         self.service = OptimizerService(model, db.name, serve_config)
         self.collector = FeedbackCollector(db, feedback_config)
         self.service.attach_feedback(self.collector)
@@ -128,7 +133,9 @@ class TenantNode:
     # -- experience ----------------------------------------------------
     def pending_experience(self) -> int:
         """Unique experiences accumulated since the last harvest."""
-        return self.buffer.added - self._harvested
+        with self._lock:
+            harvested = self._harvested
+        return self.buffer.added - harvested
 
     def inject_experience(self, items: list[LabeledQuery]) -> int:
         """Add pre-labeled experience directly (benchmarks, tests, bulk

@@ -23,7 +23,7 @@ from .adaptation import (
     evaluate_regret_gate,
     split_experience,
 )
-from .cache import PlanCache
+from .cache import CacheStats, PlanCache
 from .config import ServeConfig
 from .feedback import ExperienceBuffer, FeedbackCollector, FeedbackConfig
 from .service import (
@@ -37,6 +37,7 @@ from .stats import ServiceStats, ServingReport
 __all__ = [
     "AdaptationConfig",
     "AdaptationWorker",
+    "CacheStats",
     "ExperienceBuffer",
     "FeedbackCollector",
     "FeedbackConfig",

@@ -272,7 +272,9 @@ class AdaptationWorker:
     # -- loop ----------------------------------------------------------
     def pending_experience(self) -> int:
         """Unique experiences added since the last retrain cycle."""
-        return self.buffer.added - self._consumed
+        with self._lock:
+            consumed = self._consumed
+        return self.buffer.added - consumed
 
     def _loop(self) -> None:
         while not self._stop.is_set():

@@ -11,8 +11,33 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 
-__all__ = ["PlanCache"]
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One atomic reading of a :class:`PlanCache`'s counters and size.
+
+    All three fields are captured under the cache's lock in a single
+    critical section, so ``hits + misses`` is consistent with itself —
+    unlike reading ``cache.hits`` / ``cache.misses`` / ``len(cache)``
+    as three separate locked operations, which can interleave with a
+    concurrent ``get``.
+    """
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 class PlanCache:
@@ -63,9 +88,29 @@ class PlanCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
 
-    def clear(self) -> None:
+    def stats(self) -> CacheStats:
+        """Atomic snapshot of (hits, misses, size) in one critical
+        section — the only race-free way to compute a hit rate while
+        the cache is live."""
         with self._lock:
+            return CacheStats(hits=self.hits, misses=self.misses, size=len(self._entries))
+
+    def clear(self, reset_stats: bool = False) -> CacheStats:
+        """Drop every entry; with ``reset_stats`` also zero the hit/miss
+        counters in the same critical section.
+
+        Returns the pre-clear :class:`CacheStats`, so a caller starting a
+        new accounting epoch (e.g. ``swap_model`` invalidating the cache)
+        can retire the old epoch's numbers instead of losing them or —
+        worse — blending pre-swap hits into the post-swap hit rate.
+        """
+        with self._lock:
+            retired = CacheStats(hits=self.hits, misses=self.misses, size=len(self._entries))
             self._entries.clear()
+            if reset_stats:
+                self.hits = 0
+                self.misses = 0
+            return retired
 
     def __len__(self) -> int:
         with self._lock:

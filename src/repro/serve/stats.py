@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..eval.metrics import LatencyStats, latency_stats
+from .cache import CacheStats
 
 __all__ = ["ServiceStats", "ServingReport"]
 
@@ -54,6 +55,17 @@ class ServingReport:
     swaps_accepted: int = 0       # retrains that passed the gate + swapped
     swaps_rejected: int = 0       # retrains blocked by the regression gate
     adaptation_failures: int = 0  # cycles that crashed before a verdict
+    # Replica-pool counters (trivial for the default 1-replica service).
+    # cache_hits/cache_misses above cover the *current* cache epoch only;
+    # swap_model resets the cache counters and retires the old epoch's
+    # totals here, so lifetime lookups are current + retired while
+    # cache_hit_rate never blends numbers across a swap.
+    num_replicas: int = 1
+    replica_batches: "tuple[int, ...]" = ()     # batches decoded per replica
+    replica_requests: "tuple[int, ...]" = ()    # requests served per replica
+    replica_busy_s: "tuple[float, ...]" = ()    # wall-clock spent decoding
+    retired_cache_hits: int = 0
+    retired_cache_misses: int = 0
 
     @property
     def throughput_qps(self) -> float:
@@ -71,16 +83,25 @@ class ServingReport:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Hit rate of the *current* cache epoch (since the last swap)."""
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def replica_utilization(self) -> "tuple[float, ...]":
+        """Fraction of serving wall-clock each replica spent decoding."""
+        if self.elapsed_s <= 0:
+            return tuple(0.0 for _ in self.replica_busy_s)
+        return tuple(busy / self.elapsed_s for busy in self.replica_busy_s)
 
 
 class ServiceStats:
     """Thread-safe counters; one instance per service."""
 
-    def __init__(self):
+    def __init__(self, num_replicas: int = 1):
         self._lock = threading.Lock()
         self._latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)  # guarded-by: _lock
+        self.num_replicas = max(1, num_replicas)
         self.completed = 0  # guarded-by: _lock
         self.rejected = 0  # guarded-by: _lock
         self.failed = 0  # guarded-by: _lock
@@ -91,6 +112,13 @@ class ServiceStats:
         self.max_batch = 0  # guarded-by: _lock
         self.swaps = 0  # guarded-by: _lock
         self.timeout_near_misses = 0  # guarded-by: _lock
+        self.retired_cache_hits = 0  # guarded-by: _lock
+        self.retired_cache_misses = 0  # guarded-by: _lock
+        # Indexed by drain-worker slot; slots survive replica-set flips,
+        # so these are lifetime counters per pool position.
+        self._replica_batches = [0] * self.num_replicas  # guarded-by: _lock
+        self._replica_requests = [0] * self.num_replicas  # guarded-by: _lock
+        self._replica_busy_s = [0.0] * self.num_replicas  # guarded-by: _lock
         self._first_request_at: float | None = None  # guarded-by: _lock
         self._last_done_at: float | None = None  # guarded-by: _lock
 
@@ -118,25 +146,51 @@ class ServiceStats:
         with self._lock:
             self.rejected += 1
 
-    def note_swap(self) -> None:
+    def note_swap(self, retired: "CacheStats | None" = None) -> None:
+        """Count a hot swap; ``retired`` is the pre-swap cache epoch's
+        stats (from ``PlanCache.clear(reset_stats=True)``), accumulated
+        so lifetime lookup totals survive the counter reset."""
         with self._lock:
             self.swaps += 1
+            if retired is not None:
+                self.retired_cache_hits += retired.hits
+                self.retired_cache_misses += retired.misses
 
     def note_timeout_near_miss(self) -> None:
         with self._lock:
             self.timeout_near_misses += 1
 
-    def note_batch(self, num_requests: int, num_model_queries: int, num_coalesced: int) -> None:
+    def note_batch(
+        self,
+        num_requests: int,
+        num_model_queries: int,
+        num_coalesced: int,
+        replica_index: "int | None" = None,
+    ) -> None:
         with self._lock:
             self.batches += 1
             self.batched_requests += num_requests
             self.model_calls += num_model_queries
             self.coalesced += num_coalesced
             self.max_batch = max(self.max_batch, num_requests)
+            if replica_index is not None and 0 <= replica_index < self.num_replicas:
+                self._replica_batches[replica_index] += 1
+                self._replica_requests[replica_index] += num_requests
+
+    def note_replica_busy(self, replica_index: int, busy_s: float) -> None:
+        """Wall-clock one drain worker spent processing a batch (the
+        utilization numerator; recorded even when the batch failed)."""
+        with self._lock:
+            if 0 <= replica_index < self.num_replicas:
+                self._replica_busy_s[replica_index] += busy_s
 
     # ------------------------------------------------------------------
     def snapshot(self, queue_depth: int = 0, cache: "object | None" = None) -> ServingReport:
         """Freeze the counters (plus the cache's, if one is passed)."""
+        # Snapshot the cache *before* taking our own lock: CacheStats is
+        # captured atomically under the cache's lock, and never nesting
+        # the two locks keeps the ordering trivially cycle-free.
+        cache_stats = cache.stats() if cache is not None else CacheStats(0, 0, 0)
         with self._lock:
             if self._first_request_at is None:
                 elapsed = 0.0
@@ -147,8 +201,8 @@ class ServiceStats:
                 completed=self.completed,
                 rejected=self.rejected,
                 failed=self.failed,
-                cache_hits=getattr(cache, "hits", 0),
-                cache_misses=getattr(cache, "misses", 0),
+                cache_hits=cache_stats.hits,
+                cache_misses=cache_stats.misses,
                 coalesced=self.coalesced,
                 batches=self.batches,
                 batched_requests=self.batched_requests,
@@ -157,7 +211,13 @@ class ServiceStats:
                 swaps=self.swaps,
                 timeout_near_misses=self.timeout_near_misses,
                 queue_depth=queue_depth,
-                cache_entries=len(cache) if cache is not None else 0,
+                cache_entries=cache_stats.size,
                 elapsed_s=elapsed,
                 latency=latency_stats(self._latencies),
+                num_replicas=self.num_replicas,
+                replica_batches=tuple(self._replica_batches),
+                replica_requests=tuple(self._replica_requests),
+                replica_busy_s=tuple(self._replica_busy_s),
+                retired_cache_hits=self.retired_cache_hits,
+                retired_cache_misses=self.retired_cache_misses,
             )

@@ -96,9 +96,69 @@ class Box:
             self.items.append(1)
 
     def read(self):
-        return self.count  # reads are not checked
+        with self._lock:
+            return self.count
 """
         assert run_checker(GuardedByChecker(), good) == []
+
+    def test_unguarded_read_fires(self):
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def peek(self):
+        return self.count
+
+    def describe(self):
+        return f"count={self.count}"
+"""
+        findings = run_checker(GuardedByChecker(), source)
+        assert len(findings) == 2
+        assert {f.symbol for f in findings} == {"Box.peek", "Box.describe"}
+        assert all("read without holding" in f.message for f in findings)
+
+    def test_mutation_access_is_not_double_reported_as_read(self):
+        # `self.items.append(...)` and `self.table[k] = ...` both *load*
+        # the guarded attribute on the way to mutating it; each access
+        # must produce exactly one (mutation) finding.  The BAD fixture
+        # counts of test_every_unguarded_mutation_fires cover the
+        # unguarded side; this covers the in-lock side staying silent.
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded-by: _lock
+        self.table = {}  # guarded-by: _lock
+
+    def push(self):
+        with self._lock:
+            self.items.append(1)
+            self.table["k"] = len(self.items)
+"""
+        assert run_checker(GuardedByChecker(), source) == []
+
+    def test_read_respects_locked_suffix_and_holds_comment(self):
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def _peek_locked(self):
+        return self.count
+
+    def peek_for_caller(self):  # holds: _lock
+        return self.count
+"""
+        assert run_checker(GuardedByChecker(), source) == []
 
     def test_condition_alias_counts_as_holding_the_lock(self):
         source = """
