@@ -98,6 +98,10 @@ def main() -> None:
     # Callers submit ONE query at a time from many threads; the service
     # coalesces them into the batched decode path and caches plans by
     # structural signature.  Orders are identical to direct calls.
+    # Decodes run on the no-tape fast path (raw-ndarray kernels, encoder
+    # K/V cached once per decode, per-session scratch buffers — DESIGN.md
+    # section 11); it is bit-identical to the tape path, so none of the
+    # parity claims below depend on which mode runs.
     # To scale decoding across cores, pass ServeConfig(num_replicas=N):
     # the service then keeps N read-only model replicas (bit-identical
     # state-dict clones) with one drain worker each, so batches decode

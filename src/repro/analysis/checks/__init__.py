@@ -8,10 +8,11 @@ construct checkers directly with fixture-specific configuration.
 from __future__ import annotations
 
 from .base import Checker
-from .grad_mode import GradModeChecker, GradModeScope
+from .grad_mode import GradModeChecker, GradModeScope, RawKernelChecker
 from .guarded_by import GuardedByChecker
 from .hygiene import (
     AtomicWriteChecker,
+    ScratchPrivacyChecker,
     SilentExceptChecker,
     ThreadDisciplineChecker,
     WallClockChecker,
@@ -25,10 +26,12 @@ __all__ = [
     "EntryLockRule",
     "GradModeChecker",
     "GradModeScope",
+    "RawKernelChecker",
     "AtomicWriteChecker",
     "ThreadDisciplineChecker",
     "SilentExceptChecker",
     "WallClockChecker",
+    "ScratchPrivacyChecker",
     "all_checkers",
 ]
 
@@ -38,8 +41,10 @@ def all_checkers() -> list[Checker]:
         GuardedByChecker(),
         LockDisciplineChecker(),
         GradModeChecker(),
+        RawKernelChecker(),
         AtomicWriteChecker(),
         ThreadDisciplineChecker(),
         SilentExceptChecker(),
         WallClockChecker(),
+        ScratchPrivacyChecker(),
     ]

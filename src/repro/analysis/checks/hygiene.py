@@ -15,6 +15,13 @@
 - **wall-clock** — ``time.time()`` is wall clock and jumps under NTP;
   all latency/interval math uses ``time.monotonic()`` or
   ``time.perf_counter()``.
+- **scratch-privacy** — ``ScratchArena`` / ``KVCache`` instances must
+  never live at module scope or on a class body.  Arenas hand out
+  reusable buffers and caches hold projections of one specific memory;
+  shared across sessions (or decodes) they are write-after-free and
+  stale-read bugs waiting for a second thread.  Both belong to exactly
+  one owner: an arena to one ``InferenceSession``, a cache to one
+  decode.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ __all__ = [
     "ThreadDisciplineChecker",
     "SilentExceptChecker",
     "WallClockChecker",
+    "ScratchPrivacyChecker",
 ]
 
 
@@ -158,3 +166,53 @@ class WallClockChecker(_CallChecker):
                 "time.monotonic() or time.perf_counter() for durations"
             )
         return None
+
+
+class ScratchPrivacyChecker(Checker):
+    """No module-level or class-body ``ScratchArena`` / ``KVCache``.
+
+    Both types are deliberately unsynchronized and owner-scoped (see
+    ``repro.nn.kernels.ScratchArena`` / ``repro.nn.attention.KVCache``).
+    An instance created at import time is process-global by construction
+    — shared buffers across sessions, or projections outliving the
+    decode (and model hot-swaps) they were computed for.
+    """
+
+    name = "scratch-privacy"
+    description = "ScratchArena/KVCache instances are owner-scoped, never global"
+
+    _OWNER_SCOPED = frozenset({"ScratchArena", "KVCache"})
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        self._scan(module, module.tree.body, "<module>", findings)
+        return findings
+
+    def _scan(self, module, body, where, findings) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                self._scan(module, stmt.body, f"class {stmt.name}", findings)
+                continue
+            # Walk the statement but never descend into function bodies:
+            # code in a def runs per call with the instance as owner.
+            stack: list[ast.AST] = [stmt]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                if isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    leaf = name.rsplit(".", 1)[-1] if name else None
+                    if leaf in self._OWNER_SCOPED:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"{leaf}() instantiated at {where} scope — scratch "
+                                f"buffers and KV projections must be private to one "
+                                f"session/decode, not process-global; create them in "
+                                f"the owner's __init__ (or per decode) instead",
+                                symbol=where,
+                            )
+                        )
+                stack.extend(ast.iter_child_nodes(node))

@@ -462,6 +462,7 @@ class MTMLFQO(nn.Module):
         beam_width: int | None,
         enforce_legality: bool,
         adjacencies: "list[np.ndarray] | None" = None,
+        scratch: "nn.ScratchArena | None" = None,
     ) -> list[list[BeamCandidate]]:
         """Encode + lockstep-decode ``items`` in bounded chunks.
 
@@ -489,7 +490,7 @@ class MTMLFQO(nn.Module):
                 )
                 for i, item in enumerate(chunk)
             ]
-            drive_beam_states(self.trans_jo, memories, states)
+            drive_beam_states(self.trans_jo, memories, states, scratch=scratch)
             all_candidates.extend(state.candidates() for state in states)
         return all_candidates
 
@@ -527,6 +528,7 @@ class MTMLFQO(nn.Module):
         beam_width: int | None = None,
         enforce_legality: bool = True,
         rerank_with_cost: bool | None = None,
+        scratch: "nn.ScratchArena | None" = None,
     ) -> list[list[str]]:
         """Batched join-order inference for many queries at once.
 
@@ -552,7 +554,7 @@ class MTMLFQO(nn.Module):
         with self._infer_lock:
             self.eval()
             per_query = self._decode_candidate_chunks(
-                db_name, items, beam_width, enforce_legality, adjacencies
+                db_name, items, beam_width, enforce_legality, adjacencies, scratch=scratch
             )
             if rerank_with_cost is None:
                 rerank_with_cost = self.config.w_cost > 0.0
@@ -686,6 +688,7 @@ class MTMLFQO(nn.Module):
         items: list[LabeledQuery],
         beam_width: int | None = None,
         enforce_legality: bool = False,
+        scratch: "nn.ScratchArena | None" = None,
     ) -> list[list[BeamCandidate]]:
         """Raw beam candidates for many queries off one shared forward.
 
@@ -701,7 +704,7 @@ class MTMLFQO(nn.Module):
             adjacencies = [self._require_connected(item.query) for item in items]
         with self._infer_lock:
             return self._decode_candidate_chunks(
-                db_name, items, beam_width, enforce_legality, adjacencies
+                db_name, items, beam_width, enforce_legality, adjacencies, scratch=scratch
             )
 
 
@@ -720,12 +723,19 @@ class InferenceSession:
     def __init__(self, model: MTMLFQO, db_name: str):
         self.model = model
         self.db_name = db_name
+        # Session-private scratch arena for no-tape kernel outputs.  It
+        # must never be shared across sessions or hoisted to module
+        # scope (the scratch-privacy checker enforces the latter): all
+        # uses run under the model's inference lock, so buffers are
+        # never written concurrently.
+        self.scratch = nn.ScratchArena()
         model.featurizer_for(db_name)  # fail fast on a missing (F) module
         with model._infer_lock:
             model.eval()
 
     def predict_join_orders(self, items: list[LabeledQuery], **kwargs) -> list[list[str]]:
         """Batched join-order inference; see :meth:`MTMLFQO.predict_join_orders`."""
+        kwargs.setdefault("scratch", self.scratch)
         return self.model.predict_join_orders(self.db_name, items, **kwargs)
 
     def predict_cardinalities(self, items: list[LabeledQuery]) -> list[np.ndarray]:

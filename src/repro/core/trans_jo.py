@@ -49,15 +49,31 @@ class TransJO(nn.Module):
             rng=rng,
         )
         self.pointer_proj = nn.Linear(config.d_model, config.d_model, bias=False, rng=rng)
+        # Pointer-logit scale; same value every call computed, hoisted.
+        self.logit_scale = 1.0 / np.sqrt(config.d_model)
 
     # ------------------------------------------------------------------
-    def step_logits(self, memory: nn.Tensor, prefix_positions: list[int]) -> nn.Tensor:
+    def step_logits(
+        self,
+        memory: nn.Tensor,
+        prefix_positions: list[int],
+        kv_cache: "nn.KVCache | None" = None,
+    ) -> nn.Tensor:
         """Logits over the m tables for the next timestamp.
 
         ``memory`` is (1, m, d): the single-table representations.
         ``prefix_positions`` are the positions already emitted; the
-        decoder input is [start, S_{p1}, ..., S_{pt}].
+        decoder input is [start, S_{p1}, ..., S_{pt}].  ``kv_cache``
+        (fast path only) amortizes the memory's cross-attention K/V and
+        pointer-key projections across the steps of one beam search.
         """
+        if nn.no_tape_active():
+            memory_kv, pointer_keys = self.infer_memory_kv(memory, kv_cache)
+            return nn.Tensor._wrap(
+                self.infer_step_logits(
+                    memory.data, prefix_positions, memory_kv=memory_kv, pointer_keys=pointer_keys
+                )
+            )
         inputs = [self.start_token.reshape(1, 1, -1)]
         for position in prefix_positions:
             inputs.append(memory[:, position: position + 1, :])
@@ -65,8 +81,7 @@ class TransJO(nn.Module):
         hidden = self.decoder(x, memory)          # (1, t+1, d)
         last = hidden[:, -1, :]                   # (1, d)
         keys = self.pointer_proj(memory)          # (1, m, d)
-        scale = 1.0 / np.sqrt(self.config.d_model)
-        logits = keys.matmul(last.reshape(-1, 1)).reshape(-1) * scale  # (m,)
+        logits = keys.matmul(last.reshape(-1, 1)).reshape(-1) * self.logit_scale  # (m,)
         return logits
 
     def step_logits_batch(
@@ -93,6 +108,12 @@ class TransJO(nn.Module):
         batch, m, _ = memory.shape
         if len(prefixes) != batch:
             raise ValueError(f"{len(prefixes)} prefixes for a memory batch of {batch}")
+        if nn.no_tape_active():
+            return nn.Tensor._wrap(
+                self.infer_step_logits_batch(
+                    memory.data, prefixes, memory_padding_mask=memory_padding_mask
+                )
+            )
         indices, lengths = nn.functional.pad_index_sequences(prefixes)
         rows = np.arange(batch)
         start = nn.functional.repeat_batch(self.start_token.reshape(1, 1, -1), batch)
@@ -104,10 +125,147 @@ class TransJO(nn.Module):
         hidden = self.decoder(x, memory, memory_padding_mask=memory_padding_mask)
         last = hidden[rows, lengths]              # (B, d): each row's last real step
         keys = self.pointer_proj(memory)          # (B, m, d)
-        scale = 1.0 / np.sqrt(self.config.d_model)
-        logits = keys.matmul(last.reshape(batch, -1, 1)).reshape(batch, m) * scale
+        logits = keys.matmul(last.reshape(batch, -1, 1)).reshape(batch, m) * self.logit_scale
         if memory_padding_mask is not None:
             logits = nn.functional.masked_fill(logits, memory_padding_mask, -1e9)
+        return logits
+
+    # ------------------------------------------------------------------
+    # No-tape fast path.  The beam driver calls these directly (under
+    # ``nn.no_grad``) so it can thread a per-decode KV cache and a
+    # session scratch arena through every step.
+    # ------------------------------------------------------------------
+    def infer_memory_kv(self, memory, kv_cache: "nn.KVCache | None" = None):
+        """Per-decode projections of one (1, m, d) encoder memory.
+
+        Returns ``(memory_kv, pointer_keys)``: the per-layer
+        cross-attention K/V pairs plus the pointer keys ``W S_i`` — all
+        the projections of the memory that every decoder step would
+        otherwise recompute.  With ``kv_cache`` (a :class:`nn.KVCache`
+        bound to exactly this memory) the projection runs once per
+        decode; a cache bound to a different memory is a bug upstream
+        and is rejected loudly.
+        """
+        def project():
+            mem = memory.data if isinstance(memory, nn.Tensor) else np.asarray(memory)
+            return (
+                self.decoder.infer_project_memory_kv(mem),
+                self.pointer_proj.infer_forward(mem),
+            )
+
+        if kv_cache is None:
+            return project()
+        if not kv_cache.bound_to(memory):
+            raise ValueError("KV cache is bound to a different encoder memory than the one being decoded")
+        return kv_cache.get_or_project("transjo.memory_kv", project)
+
+    @staticmethod
+    def concat_memory_kv(per_query, counts: list[int]):
+        """Assemble batched projections from per-query cached ones.
+
+        ``per_query[i]`` is :meth:`infer_memory_kv` output for query i,
+        ``counts[i]`` its number of active beams.  Each query's (1, ...)
+        projections are broadcast to its beam count and concatenated —
+        bit-identical to projecting the batched memory directly, because
+        numpy's batched matmul computes each row as the same 2D product
+        the single-row projection performs.
+        """
+        # ``concatenate`` over stride-0 broadcast views can emit a
+        # non-C-contiguous result; force C order so the assembled arrays
+        # have exactly the strides of directly-projected ones (BLAS
+        # rounding depends on operand layout, and parity is bitwise).
+        def broadcast_concat(arrays):
+            return np.ascontiguousarray(
+                np.concatenate(
+                    [np.broadcast_to(a, (n,) + a.shape[1:]) for a, n in zip(arrays, counts)],
+                    axis=0,
+                )
+            )
+
+        num_layers = len(per_query[0][0])
+        memory_kv = [
+            (
+                broadcast_concat([kv[layer][0] for kv, _ in per_query]),
+                broadcast_concat([kv[layer][1] for kv, _ in per_query]),
+            )
+            for layer in range(num_layers)
+        ]
+        pointer_keys = broadcast_concat([keys for _, keys in per_query])
+        return memory_kv, pointer_keys
+
+    def infer_step_logits(
+        self,
+        memory: np.ndarray,
+        prefix_positions: list[int],
+        memory_kv=None,
+        pointer_keys: np.ndarray | None = None,
+        scratch=None,
+    ) -> np.ndarray:
+        """No-tape mirror of :meth:`step_logits` on raw ndarrays."""
+        inputs = [self.start_token.data.reshape(1, 1, -1)]
+        for position in prefix_positions:
+            inputs.append(memory[:, position: position + 1, :])
+        x = np.concatenate(inputs, axis=1) if len(inputs) > 1 else inputs[0]
+        hidden = self.decoder.infer_forward(x, memory, memory_kv=memory_kv, scratch=scratch, tag="jo")
+        last = hidden[:, -1, :]
+        keys = pointer_keys if pointer_keys is not None else self.pointer_proj.infer_forward(memory)
+        return np.matmul(keys, last.reshape(-1, 1)).reshape(-1) * self.logit_scale
+
+    def infer_step_logits_batch(
+        self,
+        memory: np.ndarray,
+        prefixes,
+        memory_padding_mask: np.ndarray | None = None,
+        memory_kv=None,
+        pointer_keys: np.ndarray | None = None,
+        scratch=None,
+        start_block: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """No-tape mirror of :meth:`step_logits_batch`.
+
+        ``memory_kv``/``pointer_keys`` take batched projections (see
+        :meth:`concat_memory_kv`); when omitted they are projected from
+        ``memory`` in place, which is still tape-free but repays the
+        per-step projection cost the KV cache exists to remove.
+
+        ``prefixes`` may be the usual ragged list of lists, or — from the
+        lockstep beam driver, where every row has the same length — a
+        dense ``(B, t)`` int64 matrix, which skips the pad/repack (the
+        dense matrix is exactly what ``pad_index_sequences`` would
+        build).  ``start_block`` optionally supplies the broadcast
+        start-token block, which depends only on the batch size and so
+        can be reused across the steps of one decode.
+        """
+        batch, m, _ = memory.shape
+        if isinstance(prefixes, np.ndarray):
+            indices = prefixes
+            lengths = np.full(batch, indices.shape[1], dtype=np.int64)
+        else:
+            indices, lengths = nn.functional.pad_index_sequences(prefixes)
+        rows = np.arange(batch)
+        start = start_block
+        if start is None:
+            start = np.ascontiguousarray(
+                np.broadcast_to(self.start_token.data.reshape(1, 1, -1), (batch, 1, self.config.d_model))
+            )
+        if indices.shape[1]:
+            gathered = memory[rows[:, None], indices]  # (B, Tmax, d)
+            x = np.concatenate([start, gathered], axis=1)
+        else:
+            x = start
+        hidden = self.decoder.infer_forward(
+            x,
+            memory,
+            memory_padding_mask=memory_padding_mask,
+            memory_kv=memory_kv,
+            scratch=scratch,
+            tag="jo",
+        )
+        last = hidden[rows, lengths]              # (B, d): each row's last real step
+        keys = pointer_keys if pointer_keys is not None else self.pointer_proj.infer_forward(memory)
+        logits = np.matmul(keys, last.reshape(batch, -1, 1)).reshape(batch, m) * self.logit_scale
+        if memory_padding_mask is not None:
+            logits = nn.kernels.masked_fill(logits, memory_padding_mask, -1e9)
         return logits
 
     def forward(self, memory: nn.Tensor, target_positions: list[int]) -> nn.Tensor:
@@ -123,6 +281,5 @@ class TransJO(nn.Module):
         x = nn.functional.concat(inputs, axis=1) if len(inputs) > 1 else inputs[0]
         hidden = self.decoder(x, memory)          # (1, m, d) causal
         keys = self.pointer_proj(memory)          # (1, m, d)
-        scale = 1.0 / np.sqrt(self.config.d_model)
-        logits = hidden.matmul(keys.swapaxes(-1, -2)) * scale  # (1, m, m)
+        logits = hidden.matmul(keys.swapaxes(-1, -2)) * self.logit_scale  # (1, m, m)
         return logits.reshape(len(target_positions), m)

@@ -6,21 +6,29 @@ layers, multi-head attention, transformer encoder/decoder stacks, LSTMs
 and the child-sum Tree-LSTM, optimizers and loss functions.
 """
 
-from . import functional
-from .attention import MultiHeadAttention, causal_mask
+from . import functional, kernels
+from .attention import KVCache, MultiHeadAttention, causal_mask
+from .kernels import ScratchArena
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Module, ModuleList, Parameter, Sequential
 from .losses import cross_entropy, kl_divergence, mse_loss, q_error, q_error_loss
 from .lstm import LSTM, ChildSumTreeLSTM, LSTMCell
 from .optim import SGD, Adam, clip_grad_norm
 from .positional import TreePosition, sinusoidal_encoding, tree_path_encoding
 from .serialize import load_module, save_module
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, fastpath_enabled, force_tape, is_grad_enabled, no_grad, no_tape_active
 from .transformer import TransformerDecoder, TransformerDecoderLayer, TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "is_grad_enabled",
+    "fastpath_enabled",
+    "no_tape_active",
+    "force_tape",
     "functional",
+    "kernels",
+    "KVCache",
+    "ScratchArena",
     "Module",
     "ModuleList",
     "Parameter",

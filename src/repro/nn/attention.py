@@ -3,22 +3,100 @@
 Supports optional boolean masks (True = position masked out), which the
 MTMLF-QO model uses both for padding in batched plan sequences and for
 the causal mask inside the ``Trans_JO`` decoder.
+
+Dual-mode: :meth:`MultiHeadAttention.forward` runs the tape path;
+:meth:`MultiHeadAttention.infer_forward` is the raw-ndarray mirror used
+when no tape is recorded.  Cross-attention over a *static* key/value
+source (the decoder reading a fixed encoder memory) can skip its K/V
+projections entirely by passing precomputed ``static_kv`` — see
+:class:`KVCache`, which owns those projections for one decode.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .functional import masked_fill, softmax
 from .layers import Dropout, Linear, Module
-from .tensor import Tensor
+from .tensor import Tensor, no_tape_active
 
-__all__ = ["MultiHeadAttention", "causal_mask"]
+__all__ = ["MultiHeadAttention", "causal_mask", "KVCache"]
+
+# Causal masks depend only on the length; they are tiny, read-only and
+# requested once per decoder layer per step, so memoize them.  Entries
+# are marked non-writable — every consumer only reads.
+_CAUSAL_MASK_CACHE: dict[int, np.ndarray] = {}
+_CAUSAL_MASK_CACHE_MAX = 512
 
 
 def causal_mask(length: int) -> np.ndarray:
     """Boolean (length, length) mask forbidding attention to the future."""
-    return np.triu(np.ones((length, length), dtype=bool), k=1)
+    mask = _CAUSAL_MASK_CACHE.get(length)
+    if mask is None:
+        mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+        mask.setflags(write=False)
+        if len(_CAUSAL_MASK_CACHE) >= _CAUSAL_MASK_CACHE_MAX:
+            _CAUSAL_MASK_CACHE.clear()
+        _CAUSAL_MASK_CACHE[length] = mask
+    return mask
+
+
+# The broadcast + fully-masked-row guard of a pure causal mask is itself
+# a pure function of (length, scores shape), recomputed by every decoder
+# self-attention call; memoize it (read-only) alongside the raw masks.
+_GUARDED_CAUSAL_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def _guarded_causal_mask(length: int, scores_shape: tuple) -> np.ndarray:
+    key = (length, scores_shape)
+    mask = _GUARDED_CAUSAL_CACHE.get(key)
+    if mask is None:
+        mask = MultiHeadAttention._combined_mask(causal_mask(length), None, scores_shape)
+        mask.setflags(write=False)
+        if len(_GUARDED_CAUSAL_CACHE) >= _CAUSAL_MASK_CACHE_MAX:
+            _GUARDED_CAUSAL_CACHE.clear()
+        _GUARDED_CAUSAL_CACHE[key] = mask
+    return mask
+
+
+class KVCache:
+    """Projected-K/V cache for one decode over one encoder memory.
+
+    A decode (one beam search, or one lockstep batch of searches) reads
+    the same encoder memory at every decoder step; projecting its K/V
+    once and reusing the result across steps removes the dominant
+    per-step matmuls.  The cache is **bound to the memory object it was
+    created for** and refuses to serve any other — so a cache can never
+    outlive its decode and feed stale projections to a different model
+    or a hot-swapped replica.  Create one per decode, drop it with the
+    decode; never store one on a module or at module scope (the
+    ``scratch-privacy`` checker rejects that).
+    """
+
+    __slots__ = ("_memory", "_entries")
+
+    def __init__(self, memory):
+        self._memory = memory
+        self._entries: dict = {}
+
+    def bound_to(self, memory) -> bool:
+        """True iff this cache was created for exactly ``memory``."""
+        return memory is self._memory
+
+    def get_or_project(self, tag, project):
+        """Return the cached entry for ``tag``, computing it on a miss."""
+        entry = self._entries.get(tag)
+        if entry is None:
+            entry = project()
+            self._entries[tag] = entry
+        return entry
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class MultiHeadAttention(Module):
@@ -40,6 +118,9 @@ class MultiHeadAttention(Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
+        # Same value both paths compute per call; hoisted because a
+        # np.sqrt call per attention forward is measurable at decode.
+        self.scale = 1.0 / np.sqrt(self.head_dim)
         self.q_proj = Linear(dim, dim, rng=rng)
         self.k_proj = Linear(dim, dim, rng=rng)
         self.v_proj = Linear(dim, dim, rng=rng)
@@ -54,6 +135,27 @@ class MultiHeadAttention(Module):
         batch, heads, seq, head_dim = x.shape
         return x.transpose((0, 2, 1, 3)).reshape(batch, seq, heads * head_dim)
 
+    @staticmethod
+    def _combined_mask(
+        attn_mask: np.ndarray | None,
+        key_padding_mask: np.ndarray | None,
+        scores_shape: tuple,
+    ) -> np.ndarray | None:
+        """Broadcast/merge the masks, guarding fully-masked rows (shared
+        by both paths so the float behaviour is identical)."""
+        mask = None
+        if attn_mask is not None:
+            mask = np.asarray(attn_mask, dtype=bool)[None, None, :, :]
+        if key_padding_mask is not None:
+            pad = np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+            mask = pad if mask is None else (mask | pad)
+        if mask is None:
+            return None
+        mask = np.broadcast_to(mask, scores_shape)
+        # Guard against fully-masked rows which would produce NaNs.
+        all_masked = mask.all(axis=-1, keepdims=True)
+        return mask & ~all_masked
+
     def forward(
         self,
         query: Tensor,
@@ -67,6 +169,18 @@ class MultiHeadAttention(Module):
         ``attn_mask`` is (Lq, Lk) boolean; ``key_padding_mask`` is
         (batch, Lk) boolean.  True entries are excluded from attention.
         """
+        if no_tape_active():
+            key_nd = None if key is None else key.data
+            value_nd = None if value is None else value.data
+            return Tensor._wrap(
+                self.infer_forward(
+                    query.data,
+                    key_nd,
+                    value_nd,
+                    attn_mask=attn_mask,
+                    key_padding_mask=key_padding_mask,
+                )
+            )
         key = query if key is None else key
         value = key if value is None else value
 
@@ -74,23 +188,95 @@ class MultiHeadAttention(Module):
         k = self._split_heads(self.k_proj(key))
         v = self._split_heads(self.v_proj(value))
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.swapaxes(-1, -2)) * scale  # (B, H, Lq, Lk)
+        scores = q.matmul(k.swapaxes(-1, -2)) * self.scale  # (B, H, Lq, Lk)
 
-        mask = None
-        if attn_mask is not None:
-            mask = np.asarray(attn_mask, dtype=bool)[None, None, :, :]
-        if key_padding_mask is not None:
-            pad = np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
-            mask = pad if mask is None else (mask | pad)
+        mask = self._combined_mask(attn_mask, key_padding_mask, scores.shape)
         if mask is not None:
-            mask = np.broadcast_to(mask, scores.shape)
-            # Guard against fully-masked rows which would produce NaNs.
-            all_masked = mask.all(axis=-1, keepdims=True)
-            mask = mask & ~all_masked
             scores = masked_fill(scores, mask, -1e9)
 
         weights = softmax(scores, axis=-1)
         weights = self.dropout(weights)
         attended = weights.matmul(v)
         return self.out_proj(self._merge_heads(attended))
+
+    # ------------------------------------------------------------------
+    # No-tape fast path
+    # ------------------------------------------------------------------
+    def _split_heads_nd(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def infer_project_kv(self, key: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split-head K/V projections of a static key/value source.
+
+        This is the entry :class:`KVCache` memoizes: for cross-attention
+        over an unchanging encoder memory, the returned pair is valid
+        for every decoder step of the decode.
+
+        Layout: ``(batch, Lk, heads, head_dim)`` — the *pre-transpose*
+        head split, not the ``(batch, heads, Lk, head_dim)`` the scores
+        matmul consumes.  :meth:`infer_forward` applies the same
+        transpose-view the inline projection uses, so the cached and
+        inline operands have identical strides and BLAS produces
+        bit-identical scores.  (A C-contiguous copy of the transposed
+        layout holds the same values but can round differently.)  It
+        also lets callers concatenate cached projections along axis 0
+        without disturbing the layout.
+        """
+        batch, seq, _ = key.shape
+        k = self.k_proj.infer_forward(key).reshape(batch, seq, self.num_heads, self.head_dim)
+        v = self.v_proj.infer_forward(key).reshape(batch, seq, self.num_heads, self.head_dim)
+        return k, v
+
+    def infer_forward(
+        self,
+        query: np.ndarray,
+        key: np.ndarray | None = None,
+        value: np.ndarray | None = None,
+        attn_mask: np.ndarray | None = None,
+        key_padding_mask: np.ndarray | None = None,
+        static_kv: tuple[np.ndarray, np.ndarray] | None = None,
+        scratch=None,
+        tag: str = "",
+    ) -> np.ndarray:
+        """Raw-ndarray mirror of :meth:`forward` (dropout is identity).
+
+        ``static_kv`` supplies precomputed split-head K/V (from
+        :meth:`infer_project_kv`, usually via a :class:`KVCache`),
+        skipping the K/V projections; callers must pass projections of
+        the same key/value source they would otherwise pass as arrays.
+        """
+        if static_kv is not None:
+            k_raw, v_raw = static_kv  # (B, Lk, H, hd): see infer_project_kv
+            k = k_raw.transpose(0, 2, 1, 3)
+            v = v_raw.transpose(0, 2, 1, 3)
+        else:
+            key = query if key is None else key
+            value = key if value is None else value
+            k = self._split_heads_nd(kernels.linear(key, self.k_proj.weight.data, self.k_proj.bias.data))
+            v = self._split_heads_nd(kernels.linear(value, self.v_proj.weight.data, self.v_proj.bias.data))
+        q = self._split_heads_nd(
+            kernels.linear(query, self.q_proj.weight.data, self.q_proj.bias.data, scratch=scratch, tag=tag + ".q")
+        )
+
+        scores = kernels.matmul(q, k.swapaxes(-1, -2), scratch=scratch, tag=tag + ".scores")
+        np.multiply(scores, self.scale, out=scores)  # same bits, no fresh array
+
+        if (
+            key_padding_mask is None
+            and attn_mask is not None
+            and attn_mask is _CAUSAL_MASK_CACHE.get(attn_mask.shape[0])
+        ):
+            # Decoder self-attention hot path: the guarded broadcast of a
+            # memoized causal mask is itself memoized (same bits, built
+            # by the same _combined_mask).
+            mask = _guarded_causal_mask(attn_mask.shape[0], scores.shape)
+        else:
+            mask = self._combined_mask(attn_mask, key_padding_mask, scores.shape)
+        if mask is not None:
+            scores = kernels.masked_fill(scores, mask, -1e9)
+
+        weights = kernels.softmax(scores, axis=-1)
+        attended = kernels.matmul(weights, v, scratch=scratch, tag=tag + ".attended")
+        merged = attended.transpose(0, 2, 1, 3).reshape(query.shape[0], query.shape[1], self.dim)
+        return kernels.linear(merged, self.out_proj.weight.data, self.out_proj.bias.data)

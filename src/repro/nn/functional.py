@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from . import kernels
+from .tensor import Tensor, no_tape_active
 
 __all__ = [
     "concat",
@@ -29,6 +30,9 @@ __all__ = [
 
 def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
+    if no_tape_active():
+        arrays = [t.data if isinstance(t, Tensor) else np.asarray(t, dtype=np.float64) for t in tensors]
+        return Tensor._wrap(np.concatenate(arrays, axis=axis))
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
     requires = any(t.requires_grad for t in tensors)
@@ -47,6 +51,9 @@ def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
+    if no_tape_active():
+        arrays = [t.data if isinstance(t, Tensor) else np.asarray(t, dtype=np.float64) for t in tensors]
+        return Tensor._wrap(np.stack(arrays, axis=axis))
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
     requires = any(t.requires_grad for t in tensors)
@@ -62,6 +69,8 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if no_tape_active():
+        return Tensor._wrap(kernels.softmax(x.data, axis=axis))
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     out = exps / exps.sum(axis=axis, keepdims=True)
@@ -76,6 +85,10 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    if no_tape_active():
+        # Identical arithmetic (the kernel mirrors the lines below); just
+        # skip materializing the backward-only softmax intermediate.
+        return Tensor._wrap(kernels.log_softmax(x.data, axis=axis))
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - logsumexp
@@ -94,6 +107,8 @@ def gelu(x: Tensor) -> Tensor:
     inner = c * (x.data + 0.044715 * x.data ** 3)
     t = np.tanh(inner)
     out = 0.5 * x.data * (1.0 + t)
+    if no_tape_active():
+        return Tensor._wrap(out)
 
     def backward(grad):
         if x.requires_grad:
@@ -105,6 +120,10 @@ def gelu(x: Tensor) -> Tensor:
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select: ``condition ? a : b`` (condition is constant)."""
+    if no_tape_active():
+        a_nd = a.data if isinstance(a, Tensor) else np.asarray(a, dtype=np.float64)
+        b_nd = b.data if isinstance(b, Tensor) else np.asarray(b, dtype=np.float64)
+        return Tensor._wrap(np.where(np.asarray(condition, dtype=bool), a_nd, b_nd))
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     condition = np.asarray(condition, dtype=bool)
@@ -122,6 +141,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
     """Replace entries where ``mask`` is True by ``value`` (no grad there)."""
     mask = np.asarray(mask, dtype=bool)
+    if no_tape_active():
+        return Tensor._wrap(kernels.masked_fill(x.data, mask, value))
     data = np.where(mask, value, x.data)
 
     def backward(grad):
@@ -176,6 +197,8 @@ def repeat_batch(x: Tensor, repeats: int) -> Tensor:
     if x.shape[0] != 1:
         raise ValueError(f"repeat_batch expects a leading axis of 1, got shape {x.shape}")
     data = np.broadcast_to(x.data, (repeats,) + x.data.shape[1:])
+    if no_tape_active():
+        return Tensor._wrap(np.ascontiguousarray(data))
 
     def backward(grad):
         if x.requires_grad:

@@ -1,0 +1,270 @@
+"""Raw-ndarray inference kernels for the no-tape fast path.
+
+Every function here mirrors, float-op for float-op, what the tape path
+in :mod:`repro.nn.tensor` / :mod:`repro.nn.functional` computes — same
+numpy calls, same order, same intermediate layouts — so the fast path
+is bit-identical to the tape path by construction.  (For example,
+``layer_norm`` divides via ``sum * (1.0 / dim)`` because that is what
+``Tensor.mean`` does; a plain ``np.mean`` could differ in the last ulp.)
+
+Kernels are only legal to call when no tape is being recorded (see
+``nn.tensor.no_tape_active``); the static ``grad-mode`` checker enforces
+this for every ``kernels.*`` / ``infer_*`` call site in ``src/repro``.
+
+Two cross-cutting facilities live here as well:
+
+- :class:`ScratchArena` — a shape-keyed pool of reusable output buffers.
+  Decode workloads repeat the same shapes across beam steps and queries,
+  so hot matmuls write into preallocated arrays instead of allocating.
+  Arenas must be **session-private** (one per ``InferenceSession``,
+  created per replica); the ``scratch-privacy`` hygiene checker rejects
+  module-level instances.  A buffer handed out for a ``(tag, shape)``
+  pair is overwritten the next time the same call site runs, so kernel
+  outputs must be consumed (or copied) before the next decode step —
+  which the beam driver does by construction.
+
+- :func:`profiled` — per-op call/time/alloc counters for the
+  ``--profile`` flag of ``bench_batched_decode.py``.  Costs one module
+  global integer check per kernel call when inactive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "ScratchArena",
+    "KernelProfile",
+    "profiled",
+    "matmul",
+    "linear",
+    "layer_norm",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "masked_fill",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scratch buffers
+# ---------------------------------------------------------------------------
+class ScratchArena:
+    """Shape-keyed pool of reusable float64 output buffers.
+
+    ``take(tag, shape)`` returns the same C-contiguous array every time
+    a call site (identified by ``tag``) asks for the same shape, so
+    repeated decode steps reuse their allocations.  Distinct call sites
+    use distinct tags, which is what makes intra-forward aliasing
+    impossible: no two live intermediates ever share a buffer.
+
+    Not thread-safe by itself — an arena belongs to one
+    ``InferenceSession``, whose calls are serialized by the model's
+    inference lock.
+    """
+
+    __slots__ = ("_buffers", "max_buffers")
+
+    def __init__(self, max_buffers: int = 4096):
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self.max_buffers = max_buffers
+
+    def take(self, tag: str, shape: tuple) -> np.ndarray:
+        key = (tag, shape)
+        buf = self._buffers.get(key)
+        if buf is None:
+            if len(self._buffers) >= self.max_buffers:
+                self._buffers.clear()  # shapes drifted; start over
+            buf = np.empty(shape, dtype=np.float64)
+            self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+# ---------------------------------------------------------------------------
+# Profiling counters
+# ---------------------------------------------------------------------------
+_PROFILE = threading.local()
+# Cheap global gate: when no profiled() block is active anywhere in the
+# process, kernels skip even the thread-local lookup (a plain module
+# global is markedly cheaper per call than threading.local getattr).
+_PROFILE_DEPTH = 0
+
+
+class KernelProfile:
+    """Accumulated per-op counters: calls, seconds, bytes written."""
+
+    def __init__(self):
+        self.ops: dict[str, list] = {}  # name -> [calls, seconds, nbytes]
+
+    def record(self, name: str, seconds: float, nbytes: int) -> None:
+        entry = self.ops.get(name)
+        if entry is None:
+            self.ops[name] = [1, seconds, nbytes]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+            entry[2] += nbytes
+
+    def as_dict(self) -> dict:
+        return {
+            name: {"calls": calls, "seconds": seconds, "bytes": nbytes}
+            for name, (calls, seconds, nbytes) in sorted(
+                self.ops.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+
+    def table(self) -> str:
+        lines = [f"{'op':<18}{'calls':>8}{'time_ms':>10}{'MB':>9}"]
+        for name, stats in self.as_dict().items():
+            lines.append(
+                f"{name:<18}{stats['calls']:>8}"
+                f"{1000 * stats['seconds']:>10.2f}"
+                f"{stats['bytes'] / 1e6:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiled():
+    """Collect per-op kernel counters for the duration of the block."""
+    global _PROFILE_DEPTH
+    profile = KernelProfile()
+    previous = getattr(_PROFILE, "active", None)
+    _PROFILE.active = profile
+    _PROFILE_DEPTH += 1
+    try:
+        yield profile
+    finally:
+        _PROFILE_DEPTH -= 1
+        _PROFILE.active = previous
+
+
+def _note(name: str, t0: float, nbytes: int) -> None:
+    profile = getattr(_PROFILE, "active", None)
+    if profile is not None:
+        profile.record(name, time.perf_counter() - t0, nbytes)
+
+
+# ---------------------------------------------------------------------------
+# Kernels (all bit-identical mirrors of the tape ops)
+#
+# Each kernel checks the module-global ``_PROFILE_DEPTH`` inline and only
+# touches the timing helpers when a profiled() block is active: decode
+# workloads make thousands of kernel calls per run on small operands, so
+# even two extra function calls per kernel are measurable.
+# ---------------------------------------------------------------------------
+def matmul(a: np.ndarray, b: np.ndarray, scratch: ScratchArena | None = None, tag: str = "") -> np.ndarray:
+    """``a @ b`` with an optional preallocated output buffer."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    if scratch is not None:
+        out = scratch.take(tag, a.shape[:-1] + b.shape[-1:])
+        np.matmul(a, b, out=out)
+    else:
+        out = a @ b
+    if _PROFILE_DEPTH:
+        _note("matmul", t0, out.nbytes)
+    return out
+
+
+def linear(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    scratch: ScratchArena | None = None,
+    tag: str = "",
+) -> np.ndarray:
+    """Affine map mirroring ``Linear.forward``: ``x @ W`` then ``+ b``."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    if scratch is not None:
+        out = scratch.take(tag, x.shape[:-1] + weight.shape[-1:])
+        np.matmul(x, weight, out=out)
+        if bias is not None:
+            np.add(out, bias, out=out)
+    else:
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+    if _PROFILE_DEPTH:
+        _note("linear", t0, out.nbytes)
+    return out
+
+
+def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float, dim: int) -> np.ndarray:
+    """Mirror of ``LayerNorm.forward`` (note ``sum * (1/dim)``, as
+    ``Tensor.mean`` computes it, not ``np.mean``)."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    inv = 1.0 / dim
+    mean = x.sum(axis=-1, keepdims=True) * inv
+    centered = x - mean
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv
+    # Same ufuncs as the tape path, applied in place on the fresh
+    # intermediates (an out= ufunc call computes identical bits; it only
+    # skips the output allocation).
+    np.add(var, eps, out=var)
+    np.power(var, -0.5, out=var)
+    np.multiply(centered, var, out=centered)
+    np.multiply(centered, gamma, out=centered)
+    out = np.add(centered, beta, out=centered)
+    if _PROFILE_DEPTH:
+        _note("layer_norm", t0, out.nbytes)
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Mirror of ``Tensor.relu``: ``x * (x > 0)``."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    out = x * (x > 0)
+    if _PROFILE_DEPTH:
+        _note("relu", t0, out.nbytes)
+    return out
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Mirror of ``Tensor.sigmoid``: ``1 / (1 + exp(-x))``."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    out = 1.0 / (1.0 + np.exp(-x))
+    if _PROFILE_DEPTH:
+        _note("sigmoid", t0, out.nbytes)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Mirror of ``functional.softmax`` (shift, exp, normalize)."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted, out=shifted)  # in place on the fresh copy
+    out = np.divide(exps, exps.sum(axis=axis, keepdims=True), out=exps)
+    if _PROFILE_DEPTH:
+        _note("softmax", t0, out.nbytes)
+    return out
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Mirror of ``functional.log_softmax`` (shift, log-sum-exp)."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    shifted = x - x.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - logsumexp
+    if _PROFILE_DEPTH:
+        _note("log_softmax", t0, out.nbytes)
+    return out
+
+
+def masked_fill(x: np.ndarray, mask: np.ndarray, value: float) -> np.ndarray:
+    """Mirror of ``functional.masked_fill``."""
+    t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
+    out = np.where(mask, value, x)
+    if _PROFILE_DEPTH:
+        _note("masked_fill", t0, out.nbytes)
+    return out

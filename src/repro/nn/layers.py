@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled
+from . import kernels
+from .tensor import Tensor, is_grad_enabled, no_tape_active
 
 __all__ = ["Module", "Parameter", "Linear", "LayerNorm", "Embedding", "Dropout", "Sequential", "MLP", "ModuleList"]
 
@@ -147,10 +148,17 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(self.infer_forward(x.data))
         out = x.matmul(self.weight)
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def infer_forward(self, x: np.ndarray, scratch=None, tag: str = "") -> np.ndarray:
+        """No-tape kernel: bit-identical to the tape forward."""
+        bias = self.bias.data if self.bias is not None else None
+        return kernels.linear(x, self.weight.data, bias, scratch=scratch, tag=tag)
 
 
 class LayerNorm(Module):
@@ -164,11 +172,17 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(self.infer_forward(x.data))
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
         var = (centered * centered).mean(axis=-1, keepdims=True)
         normed = centered * (var + self.eps) ** -0.5
         return normed * self.gamma + self.beta
+
+    def infer_forward(self, x: np.ndarray) -> np.ndarray:
+        """No-tape kernel: bit-identical to the tape forward."""
+        return kernels.layer_norm(x, self.gamma.data, self.beta.data, self.eps, self.dim)
 
 
 class Embedding(Module):
@@ -185,6 +199,8 @@ class Embedding(Module):
         indices = np.asarray(indices, dtype=np.int64)
         if indices.min(initial=0) < 0 or (indices.size and indices.max() >= self.num_embeddings):
             raise IndexError("embedding index out of range")
+        if no_tape_active():
+            return Tensor._wrap(self.weight.data[indices])
         return self.weight[indices]
 
 
@@ -199,6 +215,9 @@ class Dropout(Module):
         self.rng = rng or np.random.default_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
+        # Inference-mode dropout is a *true* no-op on both paths: the
+        # input object passes through untouched — no pass-through tensor
+        # on the tape, no copy on the fast path (tests assert identity).
         if not self.training or self.p == 0.0 or not is_grad_enabled():
             return x
         keep = 1.0 - self.p
@@ -235,10 +254,24 @@ class MLP(Module):
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(self.infer_forward(x.data))
         for i, layer in enumerate(self.layers):
             x = layer(x)
             if i < len(self.layers) - 1:
                 x = x.relu()
                 if self.dropout is not None:
                     x = self.dropout(x)
+        return x
+
+    def infer_forward(self, x: np.ndarray) -> np.ndarray:
+        """No-tape kernel: the whole MLP in raw ndarray ops.
+
+        Dropout is skipped outright — it is an identity in inference
+        mode on the tape path too.
+        """
+        for i, layer in enumerate(self.layers):
+            x = layer.infer_forward(x)
+            if i < len(self.layers) - 1:
+                x = kernels.relu(x)
         return x

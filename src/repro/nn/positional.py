@@ -14,6 +14,13 @@ import numpy as np
 
 __all__ = ["sinusoidal_encoding", "tree_path_encoding", "TreePosition"]
 
+# Decode workloads re-encode the same shallow tree paths for every
+# candidate and every beam step; the vectors are tiny, pure functions of
+# (path, dim, max_depth), and read-only downstream, so memoize them.
+# Entries are marked non-writable so no consumer can corrupt the cache.
+_TREE_PATH_CACHE: dict[tuple, np.ndarray] = {}
+_TREE_PATH_CACHE_MAX = 4096
+
 
 def sinusoidal_encoding(length: int, dim: int) -> np.ndarray:
     """Classic transformer sin/cos positional encoding of shape (length, dim)."""
@@ -67,6 +74,10 @@ def tree_path_encoding(position: TreePosition, dim: int, max_depth: int | None =
     """
     if dim % 2 != 0:
         raise ValueError("tree positional encoding dim must be even")
+    key = (position.path, dim, max_depth)
+    cached = _TREE_PATH_CACHE.get(key)
+    if cached is not None:
+        return cached
     max_depth = max_depth if max_depth is not None else dim // 2
     out = np.zeros(dim, dtype=np.float64)
     # Most recent decisions carry the most signal: reverse the path.
@@ -77,4 +88,9 @@ def tree_path_encoding(position: TreePosition, dim: int, max_depth: int | None =
         out[offset + step] = 1.0
     # Decaying scale keeps deep-path encodings bounded.
     depth_scale = 1.0 / np.sqrt(1.0 + position.depth)
-    return out * depth_scale
+    out = out * depth_scale
+    out.setflags(write=False)
+    if len(_TREE_PATH_CACHE) >= _TREE_PATH_CACHE_MAX:
+        _TREE_PATH_CACHE.clear()
+    _TREE_PATH_CACHE[key] = out
+    return out

@@ -20,13 +20,27 @@ import threading
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "fastpath_enabled",
+    "no_tape_active",
+    "force_tape",
+]
 
 # Grad mode is per-thread (as in torch): a serving thread running under
 # no_grad must not disable tape recording for a concurrently training
 # thread (tenant fine-tunes run on fleet-coordinator threads while drain
 # threads serve inference), and vice versa.
 _GRAD_STATE = threading.local()
+
+# The no-tape fast path is likewise per-thread.  It is on by default:
+# whenever grad is disabled, layer forwards dispatch to raw-ndarray
+# kernels (``infer_*`` methods) instead of building ``Tensor`` nodes.
+# ``force_tape`` turns the dispatch off so parity tests and benchmarks
+# can run the legacy tape path under ``no_grad`` and compare bits.
+_FASTPATH_STATE = threading.local()
 
 
 class no_grad:
@@ -49,6 +63,40 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """Return True when operations are being recorded on this thread's tape."""
     return getattr(_GRAD_STATE, "enabled", True)
+
+
+def fastpath_enabled() -> bool:
+    """True when the no-tape fast path may be taken on this thread."""
+    return getattr(_FASTPATH_STATE, "enabled", True)
+
+
+def no_tape_active() -> bool:
+    """True when forwards on this thread should use raw-ndarray kernels.
+
+    This is the dispatch predicate of the dual-mode substrate: grad is
+    off (nothing will ever call ``backward`` on the results) *and* the
+    fast path has not been suppressed via :class:`force_tape`.
+    """
+    return not is_grad_enabled() and fastpath_enabled()
+
+
+class force_tape:
+    """Context manager disabling the no-tape fast path (thread-local).
+
+    Inside the block, forwards under ``no_grad`` run the legacy
+    tape-building path.  Exists for the fast-vs-tape parity tests and
+    for ``bench_batched_decode.py`` to time the pre-fast-path decode —
+    production code should never need it.
+    """
+
+    def __enter__(self):
+        self._prev = fastpath_enabled()
+        _FASTPATH_STATE.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _FASTPATH_STATE.enabled = self._prev
+        return False
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -138,7 +186,32 @@ class Tensor:
     # Graph construction
     # ------------------------------------------------------------------
     @staticmethod
+    def _wrap(data: np.ndarray) -> "Tensor":
+        """Cheapest possible Tensor around an already-float64 ndarray.
+
+        The no-tape boundary constructor: raw-ndarray kernels compute a
+        whole layer (or decode step) and wrap the result exactly once —
+        no ``_as_array`` dtype probe, no parents, no backward closure.
+        Callers guarantee ``data`` is a float64 ``np.ndarray``.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._prev = ()
+        out.name = ""
+        return out
+
+    @staticmethod
     def _make(data: np.ndarray, parents: tuple, backward, requires_grad: bool) -> "Tensor":
+        # No-tape dispatch: when nothing will ever backpropagate through
+        # this node, skip the full constructor and all bookkeeping.  The
+        # backward closure the caller built is simply dropped.  Gated on
+        # ``fastpath_enabled`` so ``force_tape`` really does reproduce
+        # the legacy per-op construction cost.
+        if (not requires_grad or not is_grad_enabled()) and fastpath_enabled():
+            return Tensor._wrap(np.asarray(data, dtype=np.float64))
         out = Tensor(data, requires_grad=requires_grad)
         if out.requires_grad:
             out._prev = tuple(p for p in parents if isinstance(p, Tensor) and p.requires_grad)

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .attention import MultiHeadAttention, causal_mask
 from .layers import Dropout, LayerNorm, Linear, Module, ModuleList
-from .tensor import Tensor
+from .tensor import Tensor, no_tape_active
 
 __all__ = ["TransformerEncoderLayer", "TransformerEncoder", "TransformerDecoderLayer", "TransformerDecoder"]
 
@@ -32,10 +33,27 @@ class TransformerEncoderLayer(Module):
         self.dropout = Dropout(dropout, rng=rng)
 
     def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(self.infer_forward(x.data, key_padding_mask=key_padding_mask))
         normed = self.norm1(x)
         x = x + self.dropout(self.attn(normed, key_padding_mask=key_padding_mask))
         normed = self.norm2(x)
         x = x + self.dropout(self.ff2(self.ff1(normed).relu()))
+        return x
+
+    def infer_forward(
+        self,
+        x: np.ndarray,
+        key_padding_mask: np.ndarray | None = None,
+        scratch=None,
+        tag: str = "",
+    ) -> np.ndarray:
+        """No-tape mirror of :meth:`forward` (dropout is identity)."""
+        normed = self.norm1.infer_forward(x)
+        x = x + self.attn.infer_forward(normed, key_padding_mask=key_padding_mask, scratch=scratch, tag=tag + ".attn")
+        normed = self.norm2.infer_forward(x)
+        hidden = kernels.relu(self.ff1.infer_forward(normed, scratch=scratch, tag=tag + ".ff1"))
+        x = x + self.ff2.infer_forward(hidden)
         return x
 
 
@@ -51,9 +69,23 @@ class TransformerEncoder(Module):
         self.final_norm = LayerNorm(dim)
 
     def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(self.infer_forward(x.data, key_padding_mask=key_padding_mask))
         for layer in self.layers:
             x = layer(x, key_padding_mask=key_padding_mask)
         return self.final_norm(x)
+
+    def infer_forward(
+        self,
+        x: np.ndarray,
+        key_padding_mask: np.ndarray | None = None,
+        scratch=None,
+        tag: str = "",
+    ) -> np.ndarray:
+        """No-tape mirror of :meth:`forward`."""
+        for i, layer in enumerate(self.layers):
+            x = layer.infer_forward(x, key_padding_mask=key_padding_mask, scratch=scratch, tag=f"{tag}.l{i}")
+        return self.final_norm.infer_forward(x)
 
 
 class TransformerDecoderLayer(Module):
@@ -78,6 +110,10 @@ class TransformerDecoderLayer(Module):
         memory: Tensor,
         memory_padding_mask: np.ndarray | None = None,
     ) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(
+                self.infer_forward(x.data, memory.data, memory_padding_mask=memory_padding_mask)
+            )
         length = x.shape[1]
         normed = self.norm1(x)
         x = x + self.dropout(self.self_attn(normed, attn_mask=causal_mask(length)))
@@ -85,6 +121,41 @@ class TransformerDecoderLayer(Module):
         x = x + self.dropout(self.cross_attn(normed, memory, memory, key_padding_mask=memory_padding_mask))
         normed = self.norm3(x)
         x = x + self.dropout(self.ff2(self.ff1(normed).relu()))
+        return x
+
+    def infer_forward(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray | None,
+        memory_padding_mask: np.ndarray | None = None,
+        memory_kv: tuple[np.ndarray, np.ndarray] | None = None,
+        scratch=None,
+        tag: str = "",
+    ) -> np.ndarray:
+        """No-tape mirror of :meth:`forward`.
+
+        ``memory_kv`` supplies this layer's precomputed cross-attention
+        K/V (from ``cross_attn.infer_project_kv(memory)``); when given,
+        ``memory`` itself may be None — the projections stand in for it.
+        """
+        length = x.shape[1]
+        normed = self.norm1.infer_forward(x)
+        x = x + self.self_attn.infer_forward(
+            normed, attn_mask=causal_mask(length), scratch=scratch, tag=tag + ".self"
+        )
+        normed = self.norm2.infer_forward(x)
+        x = x + self.cross_attn.infer_forward(
+            normed,
+            memory,
+            memory,
+            key_padding_mask=memory_padding_mask,
+            static_kv=memory_kv,
+            scratch=scratch,
+            tag=tag + ".cross",
+        )
+        normed = self.norm3.infer_forward(x)
+        hidden = kernels.relu(self.ff1.infer_forward(normed, scratch=scratch, tag=tag + ".ff1"))
+        x = x + self.ff2.infer_forward(hidden)
         return x
 
 
@@ -105,6 +176,42 @@ class TransformerDecoder(Module):
         memory: Tensor,
         memory_padding_mask: np.ndarray | None = None,
     ) -> Tensor:
+        if no_tape_active():
+            return Tensor._wrap(
+                self.infer_forward(x.data, memory.data, memory_padding_mask=memory_padding_mask)
+            )
         for layer in self.layers:
             x = layer(x, memory, memory_padding_mask=memory_padding_mask)
         return self.final_norm(x)
+
+    def infer_forward(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray | None,
+        memory_padding_mask: np.ndarray | None = None,
+        memory_kv: list[tuple[np.ndarray, np.ndarray]] | None = None,
+        scratch=None,
+        tag: str = "",
+    ) -> np.ndarray:
+        """No-tape mirror of :meth:`forward`.
+
+        ``memory_kv`` is one ``(k, v)`` pair per layer (see
+        :meth:`infer_project_memory_kv`); with it the encoder memory's K/V are
+        never re-projected inside the step.
+        """
+        for i, layer in enumerate(self.layers):
+            kv = memory_kv[i] if memory_kv is not None else None
+            x = layer.infer_forward(
+                x,
+                memory,
+                memory_padding_mask=memory_padding_mask,
+                memory_kv=kv,
+                scratch=scratch,
+                tag=f"{tag}.l{i}",
+            )
+        return self.final_norm.infer_forward(x)
+
+    def infer_project_memory_kv(self, memory: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Cross-attention K/V of ``memory`` for every layer — the
+        per-decode work a :class:`repro.nn.KVCache` amortizes."""
+        return [layer.cross_attn.infer_project_kv(memory) for layer in self.layers]

@@ -29,6 +29,8 @@ from repro.analysis.checks import (
     GradModeChecker,
     GuardedByChecker,
     LockDisciplineChecker,
+    RawKernelChecker,
+    ScratchPrivacyChecker,
     SilentExceptChecker,
     ThreadDisciplineChecker,
     WallClockChecker,
@@ -361,6 +363,127 @@ def train(model, batch):
 
 
 # ---------------------------------------------------------------------------
+# raw-kernel (dual-mode substrate invariant)
+# ---------------------------------------------------------------------------
+class TestRawKernelChecker:
+    def test_unguarded_kernel_and_infer_calls_fire(self):
+        source = """
+from repro.nn import kernels
+
+def forward(model, x):
+    h = kernels.linear(x, model.w, model.b)
+    return model.infer_forward(h)
+"""
+        findings = run_checker(RawKernelChecker(), source)
+        assert len(findings) == 2
+        assert "kernels.linear" in findings[0].message
+        assert "infer_forward" in findings[1].message
+
+    def test_no_grad_block_guards(self):
+        source = """
+from repro import nn
+from repro.nn import kernels
+
+def forward(model, x):
+    with nn.no_grad():
+        return kernels.linear(x, model.w, model.b)
+"""
+        assert run_checker(RawKernelChecker(), source) == []
+
+    def test_no_tape_active_branch_guards(self):
+        source = """
+from repro import nn
+from repro.nn import kernels
+
+def forward(model, x):
+    if nn.no_tape_active():
+        return kernels.relu(x)
+    return model.slow(x)
+"""
+        assert run_checker(RawKernelChecker(), source) == []
+
+    def test_not_grad_enabled_and_else_of_grad_enabled_guard(self):
+        source = """
+from repro import nn
+from repro.nn import kernels
+
+def a(x):
+    if not nn.is_grad_enabled():
+        return kernels.softmax(x)
+    return x
+
+def b(model, x):
+    if nn.is_grad_enabled():
+        return model.slow(x)
+    else:
+        return model.infer_forward(x)
+"""
+        assert run_checker(RawKernelChecker(), source) == []
+
+    def test_and_conjunction_guards(self):
+        source = """
+from repro import nn
+from repro.nn import kernels
+
+def forward(model, x, fast):
+    if fast and nn.no_tape_active():
+        return kernels.relu(x)
+    return model.slow(x)
+"""
+        assert run_checker(RawKernelChecker(), source) == []
+
+    def test_infer_function_is_itself_an_entry_point(self):
+        # An infer_* function may call raw kernels freely — its callers
+        # carry the guard obligation (checked at their call sites).
+        source = """
+from repro.nn import kernels
+
+class Layer:
+    def infer_forward(self, x):
+        def project(v):
+            return kernels.matmul(v, self.w)
+        return project(x)
+"""
+        assert run_checker(RawKernelChecker(), source) == []
+
+    def test_nested_helper_under_guard_inherits_it(self):
+        source = """
+from repro import nn
+from repro.nn import kernels
+
+def forward(model, x):
+    if nn.no_tape_active():
+        def step(v):
+            return kernels.layer_norm(v, model.g, model.b)
+        return step(x)
+    return model.slow(x)
+"""
+        assert run_checker(RawKernelChecker(), source) == []
+
+    def test_unrelated_branch_does_not_guard(self):
+        source = """
+from repro.nn import kernels
+
+def forward(model, x, fast):
+    if fast:
+        return kernels.relu(x)
+    return model.slow(x)
+"""
+        findings = run_checker(RawKernelChecker(), source)
+        assert len(findings) == 1 and "kernels.relu" in findings[0].message
+
+    def test_kernels_module_itself_is_exempt(self):
+        source = """
+def linear(x, w, b):
+    return matmul(x, w) + b
+
+def fused(x, w, b):
+    return kernels.relu(linear(x, w, b))
+"""
+        assert run_checker(RawKernelChecker(), source, "repro/nn/kernels.py") == []
+
+
+# ---------------------------------------------------------------------------
 # hygiene checkers
 # ---------------------------------------------------------------------------
 class TestHygieneCheckers:
@@ -423,6 +546,34 @@ def span():
 """
         assert len(run_checker(WallClockChecker(), bad)) == 1
         assert run_checker(WallClockChecker(), good) == []
+
+    def test_module_and_class_scoped_scratch_fire(self):
+        bad = """
+from repro import nn
+
+ARENA = nn.ScratchArena()
+
+class Decoder:
+    cache = nn.KVCache(None)
+"""
+        findings = run_checker(ScratchPrivacyChecker(), bad)
+        assert len(findings) == 2
+        assert "<module>" in findings[0].message and "ScratchArena" in findings[0].message
+        assert "class Decoder" in findings[1].message and "KVCache" in findings[1].message
+
+    def test_owner_scoped_scratch_passes(self):
+        good = """
+from repro import nn
+
+class Session:
+    def __init__(self):
+        self.scratch = nn.ScratchArena()
+
+def decode(memory):
+    cache = nn.KVCache(memory)
+    return cache
+"""
+        assert run_checker(ScratchPrivacyChecker(), good) == []
 
 
 # ---------------------------------------------------------------------------

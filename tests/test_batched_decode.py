@@ -178,6 +178,90 @@ class TestBatchedBeamParity:
             assert_candidates_identical(state.candidates(), solo)
 
 
+class TestFastVsTapeParity:
+    """The no-tape fast path must yield bit-identical decodes to the
+    tape path (``nn.force_tape()`` reproduces the pre-fast-path per-op
+    implementation exactly)."""
+
+    @pytest.mark.parametrize("beam_width", list(range(1, 9)))
+    def test_e2e_beam_parity_across_widths(self, trans_jo, beam_width):
+        for m, build in ((4, chain_adjacency), (5, star_adjacency), (8, chain_adjacency)):
+            memory = random_memory(m, seed=100 + m + beam_width)
+            adjacency = build(m)
+            with nn.force_tape():
+                tape = beam_search_join_order(trans_jo, memory, adjacency, beam_width=beam_width)
+            fast = beam_search_join_order(trans_jo, memory, adjacency, beam_width=beam_width)
+            assert_candidates_identical(fast, tape)
+
+    def test_parity_with_session_scratch_arena(self, trans_jo):
+        memory = random_memory(6, seed=77)
+        adjacency = chain_adjacency(6)
+        with nn.force_tape():
+            tape = beam_search_join_order(trans_jo, memory, adjacency, beam_width=4)
+        scratch = nn.ScratchArena()
+        for _ in range(3):  # reused buffers must not leak state across decodes
+            fast = beam_search_join_order(
+                trans_jo, memory, adjacency, beam_width=4, scratch=scratch
+            )
+            assert_candidates_identical(fast, tape)
+
+    def test_sequential_parity_fast_vs_tape(self, trans_jo):
+        memory = random_memory(5, seed=78)
+        adjacency = star_adjacency(5)
+        with nn.force_tape():
+            tape = beam_search_join_order_sequential(trans_jo, memory, adjacency, beam_width=4)
+        fast = beam_search_join_order_sequential(trans_jo, memory, adjacency, beam_width=4)
+        assert_candidates_identical(fast, tape)
+
+
+class TestKVCache:
+    def test_cache_projects_once_and_reuses(self, trans_jo):
+        memory = random_memory(5, seed=80)
+        cache = nn.KVCache(memory)
+        with nn.no_grad():
+            first = trans_jo.infer_memory_kv(memory, cache)
+            second = trans_jo.infer_memory_kv(memory, cache)
+        assert len(cache) == 1
+        assert first is second  # same projection object, not a recompute
+        memory_kv, pointer_keys = first
+        assert len(memory_kv) == len(trans_jo.decoder.layers)
+        with nn.no_grad():
+            fresh_kv, fresh_keys = trans_jo.infer_memory_kv(memory)
+        np.testing.assert_array_equal(pointer_keys, fresh_keys)
+        for (k, v), (fk, fv) in zip(memory_kv, fresh_kv):
+            np.testing.assert_array_equal(k, fk)
+            np.testing.assert_array_equal(v, fv)
+
+    def test_cache_bound_to_other_memory_is_rejected(self, trans_jo):
+        memory = random_memory(5, seed=81)
+        other = random_memory(5, seed=82)
+        stale = nn.KVCache(other)
+        with nn.no_grad(), pytest.raises(ValueError, match="bound to a different encoder memory"):
+            trans_jo.infer_memory_kv(memory, stale)
+
+    def test_equal_values_different_object_still_rejected(self, trans_jo):
+        # Binding is by object identity, not value: a hot-swapped replica
+        # re-encodes and produces a new memory object, so its decode can
+        # never be served projections computed under the old weights.
+        memory = random_memory(5, seed=83)
+        clone = nn.Tensor(memory.data.copy())
+        cache = nn.KVCache(memory)
+        assert cache.bound_to(memory) and not cache.bound_to(clone)
+        with nn.no_grad(), pytest.raises(ValueError, match="bound to a different encoder memory"):
+            trans_jo.infer_memory_kv(clone, cache)
+
+    def test_invalidate_forces_reprojection(self, trans_jo):
+        memory = random_memory(4, seed=84)
+        cache = nn.KVCache(memory)
+        with nn.no_grad():
+            first = trans_jo.infer_memory_kv(memory, cache)
+            cache.invalidate()
+            assert len(cache) == 0
+            second = trans_jo.infer_memory_kv(memory, cache)
+        assert first is not second  # recomputed after invalidation
+        np.testing.assert_array_equal(first[1], second[1])
+
+
 class TestDisconnectedDetection:
     def test_beam_search_raises_with_components(self, trans_jo):
         adjacency = np.zeros((4, 4), dtype=bool)

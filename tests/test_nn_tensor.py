@@ -223,3 +223,150 @@ class TestFunctionalCombinators:
     def test_one_hot(self):
         out = F.one_hot(np.array([0, 2]), 3)
         np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestFastPathBitIdentity:
+    """The no-tape fast path must be *bit-identical* to the tape path.
+
+    Every dual-mode layer is run twice on the same inputs — once under
+    ``nn.force_tape()`` (the pre-fast-path per-op implementation) and
+    once on the default no-grad fast path — and the outputs compared
+    with exact equality, not allclose: beam search ranks candidates by
+    log-prob, and a last-ulp divergence can reorder a beam.
+    """
+
+    @staticmethod
+    def _fast_vs_tape(module, *args, **kwargs):
+        import repro.nn as nn
+
+        module.eval()
+        with nn.force_tape(), nn.no_grad():
+            tape = module(*args, **kwargs)
+        with nn.no_grad():
+            fast = module(*args, **kwargs)
+        return tape, fast
+
+    def test_linear_layernorm_mlp(self):
+        from repro.nn import MLP, LayerNorm, Linear
+
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(5, 4, 16)))
+        for module in (Linear(16, 16, rng=rng), LayerNorm(16), MLP([16, 32, 16], rng=rng)):
+            tape, fast = self._fast_vs_tape(module, x)
+            np.testing.assert_array_equal(fast.data, tape.data)
+
+    def test_attention_with_and_without_masks(self):
+        from repro.nn import MultiHeadAttention, causal_mask
+
+        rng = np.random.default_rng(4)
+        attn = MultiHeadAttention(16, 4, rng=rng)
+        q = Tensor(rng.normal(size=(3, 6, 16)))
+        padding = rng.random((3, 6)) < 0.3
+        for kwargs in (
+            {},
+            {"attn_mask": causal_mask(6)},
+            {"key_padding_mask": padding},
+            {"attn_mask": causal_mask(6), "key_padding_mask": padding},
+        ):
+            tape, fast = self._fast_vs_tape(attn, q, **kwargs)
+            np.testing.assert_array_equal(fast.data, tape.data)
+
+    def test_attention_cross_with_cached_kv(self):
+        import repro.nn as nn
+        from repro.nn import MultiHeadAttention
+
+        rng = np.random.default_rng(5)
+        attn = MultiHeadAttention(16, 4, rng=rng)
+        attn.eval()
+        q = Tensor(rng.normal(size=(2, 3, 16)))
+        memory = Tensor(rng.normal(size=(2, 7, 16)))
+        with nn.force_tape(), nn.no_grad():
+            tape = attn(q, memory, memory)
+        with nn.no_grad():
+            inline = attn.infer_forward(q.data, memory.data, memory.data)
+            kv = attn.infer_project_kv(memory.data)
+            cached = attn.infer_forward(q.data, None, None, static_kv=kv)
+        np.testing.assert_array_equal(inline, tape.data)
+        np.testing.assert_array_equal(cached, tape.data)
+
+    def test_transformer_encoder_and_decoder_blocks(self):
+        from repro.nn import TransformerDecoder, TransformerEncoder
+
+        rng = np.random.default_rng(6)
+        encoder = TransformerEncoder(16, 4, num_layers=2, rng=rng)
+        decoder = TransformerDecoder(16, 4, num_layers=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        memory = Tensor(rng.normal(size=(2, 7, 16)))
+        padding = rng.random((2, 7)) < 0.3
+
+        tape, fast = self._fast_vs_tape(encoder, x)
+        np.testing.assert_array_equal(fast.data, tape.data)
+
+        tape, fast = self._fast_vs_tape(decoder, x, memory, memory_padding_mask=padding)
+        np.testing.assert_array_equal(fast.data, tape.data)
+
+    def test_decoder_with_projected_memory_kv(self):
+        import repro.nn as nn
+        from repro.nn import TransformerDecoder
+
+        rng = np.random.default_rng(7)
+        decoder = TransformerDecoder(16, 4, num_layers=2, rng=rng)
+        decoder.eval()
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        memory = Tensor(rng.normal(size=(2, 7, 16)))
+        with nn.force_tape(), nn.no_grad():
+            tape = decoder(x, memory)
+        with nn.no_grad():
+            kv = decoder.infer_project_memory_kv(memory.data)
+            fast = decoder.infer_forward(x.data, None, memory_kv=kv)
+        np.testing.assert_array_equal(fast, tape.data)
+
+    def test_lstm(self):
+        from repro.nn import LSTM
+
+        rng = np.random.default_rng(8)
+        lstm = LSTM(12, 10, rng=rng)
+        x = Tensor(rng.normal(size=(3, 6, 12)))
+        tape, fast = self._fast_vs_tape(lstm, x)
+        np.testing.assert_array_equal(fast.data, tape.data)
+
+    def test_softmax_and_log_softmax_kernels(self):
+        import repro.nn as nn
+        from repro.nn import kernels
+
+        rng = np.random.default_rng(9)
+        for shape in ((7,), (3, 5), (2, 4, 8, 6)):
+            x = rng.normal(size=shape) * 10.0
+            with nn.force_tape(), nn.no_grad():
+                tape_sm = F.softmax(Tensor(x), axis=-1).data
+                tape_lsm = F.log_softmax(Tensor(x), axis=-1).data
+            with nn.no_grad():
+                np.testing.assert_array_equal(kernels.softmax(x, axis=-1), tape_sm)
+                np.testing.assert_array_equal(kernels.log_softmax(x, axis=-1), tape_lsm)
+                np.testing.assert_array_equal(F.softmax(Tensor(x), axis=-1).data, tape_sm)
+                np.testing.assert_array_equal(F.log_softmax(Tensor(x), axis=-1).data, tape_lsm)
+
+    def test_tree_path_encoding_cache_is_bitwise_stable(self):
+        from repro.nn.positional import TreePosition, _TREE_PATH_CACHE, tree_path_encoding
+
+        position = TreePosition((0, 1, 1, 0))
+        _TREE_PATH_CACHE.clear()
+        first = tree_path_encoding(position, 16)
+        again = tree_path_encoding(position, 16)
+        assert again is first  # memoized, not recomputed
+        assert not first.flags.writeable  # consumers cannot corrupt it
+        _TREE_PATH_CACHE.clear()
+        recomputed = tree_path_encoding(TreePosition((0, 1, 1, 0)), 16)
+        np.testing.assert_array_equal(recomputed, first)
+
+    def test_eval_dropout_is_identity_object_both_paths(self):
+        import repro.nn as nn
+        from repro.nn import Dropout
+
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(RNG.normal(size=(4, 4)))
+        with nn.force_tape(), nn.no_grad():
+            assert drop(x) is x
+        with nn.no_grad():
+            assert drop(x) is x
