@@ -18,6 +18,7 @@ import os
 import sys
 from pathlib import Path
 
+from .checks import all_checkers
 from .linter import Baseline, Linter
 
 DEFAULT_BASELINE = "analysis-baseline.txt"
@@ -52,10 +53,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 when any non-baselined finding remains (CI mode)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="CHECKER",
+        help="run only the named checker (repeatable); see --list-checkers",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list registered checker names and descriptions, then exit",
+    )
     args = parser.parse_args(argv)
 
+    checkers = all_checkers()
+    if args.list_checkers:
+        width = max(len(checker.name) for checker in checkers)
+        for checker in checkers:
+            print(f"{checker.name:<{width}}  {checker.description}")
+        return 0
+    if args.only:
+        known = {checker.name: checker for checker in checkers}
+        unknown = [name for name in args.only if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown checker(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(sorted(known))})"
+            )
+        checkers = [known[name] for name in args.only]
+
     paths = args.paths or _default_paths()
-    findings = Linter().run_paths(paths)
+    linter = Linter(checkers)
+    findings = linter.run_paths(paths)
 
     baseline_path = args.baseline or DEFAULT_BASELINE
     if args.write_baseline:
@@ -76,6 +105,13 @@ def main(argv: list[str] | None = None) -> int:
                     "baselined": len(findings) - len(new_findings),
                     "stale_baseline_entries": sorted(baseline.unused),
                     "count": len(new_findings),
+                    "checkers": {
+                        name: {
+                            "findings": int(stat["findings"]),
+                            "seconds": round(stat["seconds"], 6),
+                        }
+                        for name, stat in sorted(linter.stats.items())
+                    },
                 },
                 indent=2,
             )

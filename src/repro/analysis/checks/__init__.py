@@ -18,6 +18,7 @@ from .hygiene import (
     WallClockChecker,
 )
 from .lock_discipline import EntryLockRule, LockDisciplineChecker
+from .shapes import DtypeChecker, DualModeParityChecker, ShapeChecker
 
 __all__ = [
     "Checker",
@@ -32,6 +33,9 @@ __all__ = [
     "SilentExceptChecker",
     "WallClockChecker",
     "ScratchPrivacyChecker",
+    "ShapeChecker",
+    "DtypeChecker",
+    "DualModeParityChecker",
     "all_checkers",
 ]
 
@@ -47,4 +51,7 @@ def all_checkers() -> list[Checker]:
         SilentExceptChecker(),
         WallClockChecker(),
         ScratchPrivacyChecker(),
+        ShapeChecker(),
+        DtypeChecker(),
+        DualModeParityChecker(),
     ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from pathlib import Path
 
@@ -126,7 +127,14 @@ class Baseline:
 
 
 class Linter:
-    """Runs a set of checkers over files/trees and filters suppressions."""
+    """Runs a set of checkers over files/trees and filters suppressions.
+
+    :attr:`stats` accumulates per-checker counters across every run
+    issued through this instance: ``{checker: {"findings": n,
+    "seconds": s}}``, with unparseable files counted under
+    ``parse-error``.  Counted findings are post-suppression — what a
+    caller actually sees.
+    """
 
     def __init__(self, checkers=None):
         if checkers is None:
@@ -134,12 +142,26 @@ class Linter:
 
             checkers = all_checkers()
         self.checkers = list(checkers)
+        self.stats: dict[str, dict[str, float]] = {
+            checker.name: {"findings": 0, "seconds": 0.0}
+            for checker in self.checkers
+        }
+
+    def _stat(self, name: str) -> dict[str, float]:
+        return self.stats.setdefault(name, {"findings": 0, "seconds": 0.0})
 
     def run_module(self, module: SourceModule) -> list[Finding]:
         findings: list[Finding] = []
         for checker in self.checkers:
-            findings.extend(checker.check(module))
-        return sorted(f for f in findings if not module.suppressed(f))
+            start = time.perf_counter()
+            found = [
+                f for f in checker.check(module) if not module.suppressed(f)
+            ]
+            stat = self._stat(checker.name)
+            stat["seconds"] += time.perf_counter() - start
+            stat["findings"] += len(found)
+            findings.extend(found)
+        return sorted(findings)
 
     def run_source(self, text: str, rel_path: str = "<string>") -> list[Finding]:
         return self.run_module(SourceModule(text, rel_path))
@@ -168,6 +190,7 @@ class Linter:
                         message=f"file does not parse: {error.msg}",
                     )
                 )
+                self._stat("parse-error")["findings"] += 1
                 continue
             findings.extend(self.run_module(module))
         return sorted(findings)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..nn.spec import shape_spec
 from .config import ModelConfig
 
 __all__ = ["EstimationHead"]
@@ -24,6 +25,9 @@ class EstimationHead(nn.Module):
         rng = rng or np.random.default_rng(config.seed)
         self.mlp = nn.MLP([config.d_model, config.d_model, 1], rng=rng)
 
+    @shape_spec(inputs={"shared": "(B, L, d_model)"},
+                out="(B, L)",
+                params=("mlp",))
     def forward(self, shared: nn.Tensor) -> nn.Tensor:
         """(B, L, d_model) -> (B, L) predicted log values."""
         out = self.mlp(shared)

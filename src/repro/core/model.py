@@ -22,6 +22,7 @@ import numpy as np
 from .. import nn
 from ..engine.plan import JoinOp, PlanNode, ScanOp
 from ..nn.positional import tree_path_encoding
+from ..nn.spec import shape_spec
 from ..sql.query import Query
 from ..workload.labeler import LabeledQuery
 from .beam import (
@@ -404,6 +405,8 @@ class MTMLFQO(nn.Module):
         log_costs = self.cost_head(shared)
         return log_cards, log_costs, pad_mask, encodings, shared
 
+    @shape_spec(inputs={"shared_row": "(L, d_model)"},
+                out="(1, m, d_model)")
     def join_order_memory(
         self, shared_row: nn.Tensor, encoding: EncodedQuery, table_order: list[str]
     ) -> nn.Tensor:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..nn.spec import shape_spec
 from .config import ModelConfig
 
 __all__ = ["SharedRepresentation"]
@@ -35,6 +36,10 @@ class SharedRepresentation(nn.Module):
             rng=rng,
         )
 
+    @shape_spec(inputs={"node_features": "(B, L, node_feature_dim)",
+                        "tree_encodings": "(B, L, d_model)"},
+                out="(B, L, d_model)",
+                params=("input_proj", "encoder"))
     def forward(
         self,
         node_features: nn.Tensor,

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..nn.spec import shape_spec
 from .config import ModelConfig
 
 __all__ = ["TransJO"]
@@ -53,6 +54,9 @@ class TransJO(nn.Module):
         self.logit_scale = 1.0 / np.sqrt(config.d_model)
 
     # ------------------------------------------------------------------
+    @shape_spec(inputs={"memory": "(1, m, d_model)"},
+                out="(m,)",
+                params=("start_token", "decoder", "pointer_proj"))
     def step_logits(
         self,
         memory: nn.Tensor,
@@ -84,6 +88,9 @@ class TransJO(nn.Module):
         logits = keys.matmul(last.reshape(-1, 1)).reshape(-1) * self.logit_scale  # (m,)
         return logits
 
+    @shape_spec(inputs={"memory": "(B, m, d_model)"},
+                out="(B, m)",
+                params=("start_token", "decoder", "pointer_proj"))
     def step_logits_batch(
         self,
         memory: nn.Tensor,
@@ -193,6 +200,9 @@ class TransJO(nn.Module):
         pointer_keys = broadcast_concat([keys for _, keys in per_query])
         return memory_kv, pointer_keys
 
+    @shape_spec(inputs={"memory": "(1, m, d_model)"},
+                out="(m,)",
+                params=("start_token", "decoder", "pointer_proj"))
     def infer_step_logits(
         self,
         memory: np.ndarray,
@@ -211,6 +221,9 @@ class TransJO(nn.Module):
         keys = pointer_keys if pointer_keys is not None else self.pointer_proj.infer_forward(memory)
         return np.matmul(keys, last.reshape(-1, 1)).reshape(-1) * self.logit_scale
 
+    @shape_spec(inputs={"memory": "(B, m, d_model)"},
+                out="(B, m)",
+                params=("start_token", "decoder", "pointer_proj"))
     def infer_step_logits_batch(
         self,
         memory: np.ndarray,
@@ -268,6 +281,9 @@ class TransJO(nn.Module):
             logits = nn.kernels.masked_fill(logits, memory_padding_mask, -1e9)
         return logits
 
+    @shape_spec(inputs={"memory": "(1, m, d_model)"},
+                out="(m, m)",
+                params=("start_token", "decoder", "pointer_proj"))
     def forward(self, memory: nn.Tensor, target_positions: list[int]) -> nn.Tensor:
         """Teacher-forced logits for a whole order, shape (m, m).
 

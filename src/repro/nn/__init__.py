@@ -15,6 +15,7 @@ from .lstm import LSTM, ChildSumTreeLSTM, LSTMCell
 from .optim import SGD, Adam, clip_grad_norm
 from .positional import TreePosition, sinusoidal_encoding, tree_path_encoding
 from .serialize import load_module, save_module
+from .spec import shape_spec
 from .tensor import Tensor, fastpath_enabled, force_tape, is_grad_enabled, no_grad, no_tape_active
 from .transformer import TransformerDecoder, TransformerDecoderLayer, TransformerEncoder, TransformerEncoderLayer
 
@@ -60,4 +61,5 @@ __all__ = [
     "TreePosition",
     "save_module",
     "load_module",
+    "shape_spec",
 ]

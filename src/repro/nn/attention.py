@@ -19,6 +19,7 @@ import numpy as np
 from . import kernels
 from .functional import masked_fill, softmax
 from .layers import Dropout, Linear, Module
+from .spec import shape_spec
 from .tensor import Tensor, no_tape_active
 
 __all__ = ["MultiHeadAttention", "causal_mask", "KVCache"]
@@ -30,6 +31,7 @@ _CAUSAL_MASK_CACHE: dict[int, np.ndarray] = {}
 _CAUSAL_MASK_CACHE_MAX = 512
 
 
+@shape_spec(out="(L, L)", dtypes={"out": "bool"})
 def causal_mask(length: int) -> np.ndarray:
     """Boolean (length, length) mask forbidding attention to the future."""
     mask = _CAUSAL_MASK_CACHE.get(length)
@@ -127,10 +129,14 @@ class MultiHeadAttention(Module):
         self.out_proj = Linear(dim, dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
 
+    @shape_spec(inputs={"x": "(B, L, dim)"},
+                out="(B, num_heads, L, head_dim)")
     def _split_heads(self, x: Tensor) -> Tensor:
         batch, seq, _ = x.shape
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
 
+    @shape_spec(inputs={"x": "(B, num_heads, L, head_dim)"},
+                out="(B, L, num_heads*head_dim)")
     def _merge_heads(self, x: Tensor) -> Tensor:
         batch, heads, seq, head_dim = x.shape
         return x.transpose((0, 2, 1, 3)).reshape(batch, seq, heads * head_dim)
@@ -156,6 +162,11 @@ class MultiHeadAttention(Module):
         all_masked = mask.all(axis=-1, keepdims=True)
         return mask & ~all_masked
 
+    @shape_spec(inputs={"query": "(B, L_q, dim)",
+                        "key": "(B, L_k, dim)",
+                        "value": "(B, L_k, dim)"},
+                out="(B, L_q, dim)",
+                params=("q_proj", "k_proj", "v_proj", "out_proj"))
     def forward(
         self,
         query: Tensor,
@@ -202,10 +213,16 @@ class MultiHeadAttention(Module):
     # ------------------------------------------------------------------
     # No-tape fast path
     # ------------------------------------------------------------------
+    @shape_spec(inputs={"x": "(B, L, dim)"},
+                out="(B, num_heads, L, head_dim)")
     def _split_heads_nd(self, x: np.ndarray) -> np.ndarray:
         batch, seq, _ = x.shape
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
+    @shape_spec(inputs={"key": "(B, L_k, dim)"},
+                out=("(B, L_k, num_heads, head_dim)",
+                     "(B, L_k, num_heads, head_dim)"),
+                params=("k_proj", "v_proj"))
     def infer_project_kv(self, key: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Split-head K/V projections of a static key/value source.
 
@@ -228,6 +245,13 @@ class MultiHeadAttention(Module):
         v = self.v_proj.infer_forward(key).reshape(batch, seq, self.num_heads, self.head_dim)
         return k, v
 
+    @shape_spec(inputs={"query": "(B, L_q, dim)",
+                        "key": "(B, L_k, dim)",
+                        "value": "(B, L_k, dim)",
+                        "static_kv": ("(B, L_k, num_heads, head_dim)",
+                                      "(B, L_k, num_heads, head_dim)")},
+                out="(B, L_q, dim)",
+                params=("q_proj", "k_proj", "v_proj", "out_proj"))
     def infer_forward(
         self,
         query: np.ndarray,

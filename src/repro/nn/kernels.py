@@ -36,6 +36,8 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from .spec import shape_spec
+
 __all__ = [
     "ScratchArena",
     "KernelProfile",
@@ -164,6 +166,7 @@ def _note(name: str, t0: float, nbytes: int) -> None:
 # workloads make thousands of kernel calls per run on small operands, so
 # even two extra function calls per kernel are measurable.
 # ---------------------------------------------------------------------------
+@shape_spec(inputs={"a": "(..., M, K)", "b": "(..., K, N)"}, out="(..., M, N)")
 def matmul(a: np.ndarray, b: np.ndarray, scratch: ScratchArena | None = None, tag: str = "") -> np.ndarray:
     """``a @ b`` with an optional preallocated output buffer."""
     t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
@@ -177,6 +180,8 @@ def matmul(a: np.ndarray, b: np.ndarray, scratch: ScratchArena | None = None, ta
     return out
 
 
+@shape_spec(inputs={"x": "(..., d_in)", "weight": "(d_in, d_out)", "bias": "(d_out,)"},
+            out="(..., d_out)")
 def linear(
     x: np.ndarray,
     weight: np.ndarray,
@@ -200,6 +205,8 @@ def linear(
     return out
 
 
+@shape_spec(inputs={"x": "(..., dim)", "gamma": "(dim,)", "beta": "(dim,)"},
+            out="(..., dim)")
 def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float, dim: int) -> np.ndarray:
     """Mirror of ``LayerNorm.forward`` (note ``sum * (1/dim)``, as
     ``Tensor.mean`` computes it, not ``np.mean``)."""
@@ -221,6 +228,7 @@ def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float, d
     return out
 
 
+@shape_spec(inputs={"x": "(...,)"}, out="(...,)")
 def relu(x: np.ndarray) -> np.ndarray:
     """Mirror of ``Tensor.relu``: ``x * (x > 0)``."""
     t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
@@ -230,6 +238,7 @@ def relu(x: np.ndarray) -> np.ndarray:
     return out
 
 
+@shape_spec(inputs={"x": "(...,)"}, out="(...,)")
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Mirror of ``Tensor.sigmoid``: ``1 / (1 + exp(-x))``."""
     t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
@@ -239,6 +248,7 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
+@shape_spec(inputs={"x": "(...,)"}, out="(...,)")
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Mirror of ``functional.softmax`` (shift, exp, normalize)."""
     t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
@@ -250,6 +260,7 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return out
 
 
+@shape_spec(inputs={"x": "(...,)"}, out="(...,)")
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Mirror of ``functional.log_softmax`` (shift, log-sum-exp)."""
     t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0
@@ -261,6 +272,8 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return out
 
 
+@shape_spec(inputs={"x": "(...,)", "mask": "(...,)"}, out="(...,)",
+            dtypes={"mask": "bool"})
 def masked_fill(x: np.ndarray, mask: np.ndarray, value: float) -> np.ndarray:
     """Mirror of ``functional.masked_fill``."""
     t0 = time.perf_counter() if _PROFILE_DEPTH else 0.0

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import kernels
+from .spec import shape_spec
 from .tensor import Tensor, is_grad_enabled, no_tape_active
 
 __all__ = ["Module", "Parameter", "Linear", "LayerNorm", "Embedding", "Dropout", "Sequential", "MLP", "ModuleList"]
@@ -147,6 +148,9 @@ class Linear(Module):
         self.weight = Parameter(xavier_uniform((in_features, out_features), rng))
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
+    @shape_spec(inputs={"x": "(..., in_features)"},
+                out="(..., out_features)",
+                params=("weight", "bias"))
     def forward(self, x: Tensor) -> Tensor:
         if no_tape_active():
             return Tensor._wrap(self.infer_forward(x.data))
@@ -155,6 +159,9 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    @shape_spec(inputs={"x": "(..., in_features)"},
+                out="(..., out_features)",
+                params=("weight", "bias"))
     def infer_forward(self, x: np.ndarray, scratch=None, tag: str = "") -> np.ndarray:
         """No-tape kernel: bit-identical to the tape forward."""
         bias = self.bias.data if self.bias is not None else None
@@ -171,6 +178,9 @@ class LayerNorm(Module):
         self.gamma = Parameter(np.ones(dim))
         self.beta = Parameter(np.zeros(dim))
 
+    @shape_spec(inputs={"x": "(..., dim)"},
+                out="(..., dim)",
+                params=("gamma", "beta"))
     def forward(self, x: Tensor) -> Tensor:
         if no_tape_active():
             return Tensor._wrap(self.infer_forward(x.data))
@@ -180,6 +190,9 @@ class LayerNorm(Module):
         normed = centered * (var + self.eps) ** -0.5
         return normed * self.gamma + self.beta
 
+    @shape_spec(inputs={"x": "(..., dim)"},
+                out="(..., dim)",
+                params=("gamma", "beta"))
     def infer_forward(self, x: np.ndarray) -> np.ndarray:
         """No-tape kernel: bit-identical to the tape forward."""
         return kernels.layer_norm(x, self.gamma.data, self.beta.data, self.eps, self.dim)
@@ -195,6 +208,10 @@ class Embedding(Module):
         self.dim = dim
         self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)))
 
+    @shape_spec(inputs={"indices": "(B, L)"},
+                out="(B, L, dim)",
+                params=("weight",),
+                dtypes={"indices": "int64"})
     def forward(self, indices) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
         if indices.min(initial=0) < 0 or (indices.size and indices.max() >= self.num_embeddings):
@@ -214,6 +231,7 @@ class Dropout(Module):
         self.p = p
         self.rng = rng or np.random.default_rng(0)
 
+    @shape_spec(inputs={"x": "(...,)"}, out="(...,)")
     def forward(self, x: Tensor) -> Tensor:
         # Inference-mode dropout is a *true* no-op on both paths: the
         # input object passes through untouched — no pass-through tensor
@@ -253,6 +271,9 @@ class MLP(Module):
         self.layers = ModuleList([Linear(a, b, rng=rng) for a, b in zip(dims[:-1], dims[1:])])
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
 
+    @shape_spec(inputs={"x": "(..., d_in)"},
+                out="(..., d_out)",
+                params=("layers",))
     def forward(self, x: Tensor) -> Tensor:
         if no_tape_active():
             return Tensor._wrap(self.infer_forward(x.data))
@@ -264,6 +285,9 @@ class MLP(Module):
                     x = self.dropout(x)
         return x
 
+    @shape_spec(inputs={"x": "(..., d_in)"},
+                out="(..., d_out)",
+                params=("layers",))
     def infer_forward(self, x: np.ndarray) -> np.ndarray:
         """No-tape kernel: the whole MLP in raw ndarray ops.
 

@@ -12,6 +12,7 @@ import numpy as np
 from . import functional as F
 from . import kernels
 from .layers import Linear, Module
+from .spec import shape_spec
 from .tensor import Tensor, no_tape_active
 
 __all__ = ["LSTMCell", "LSTM", "ChildSumTreeLSTM"]
@@ -28,6 +29,10 @@ class LSTMCell(Module):
         self.ih = Linear(input_dim, 4 * hidden_dim, rng=rng)
         self.hh = Linear(hidden_dim, 4 * hidden_dim, rng=rng)
 
+    @shape_spec(inputs={"x": "(B, input_dim)",
+                        "state": ("(B, hidden_dim)", "(B, hidden_dim)")},
+                out=("(B, hidden_dim)", "(B, hidden_dim)"),
+                params=("ih", "hh"))
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None) -> tuple[Tensor, Tensor]:
         batch = x.shape[0]
         if state is None:
@@ -45,6 +50,10 @@ class LSTMCell(Module):
         h_new = o * c_new.tanh()
         return h_new, c_new
 
+    @shape_spec(inputs={"x": "(B, input_dim)",
+                        "state": ("(B, hidden_dim)", "(B, hidden_dim)")},
+                out=("(B, hidden_dim)", "(B, hidden_dim)"),
+                params=("ih", "hh"))
     def infer_forward(
         self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray] | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -74,6 +83,9 @@ class LSTM(Module):
         self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
         self.hidden_dim = hidden_dim
 
+    @shape_spec(inputs={"x": "(B, L, input_dim)"},
+                out="(B, L, hidden_dim)",
+                params=("cell",))
     def forward(self, x: Tensor) -> Tensor:
         """Return the stacked hidden states, shape (batch, seq, hidden)."""
         if no_tape_active():
@@ -86,6 +98,9 @@ class LSTM(Module):
             outputs.append(h)
         return F.stack(outputs, axis=1)
 
+    @shape_spec(inputs={"x": "(B, L, input_dim)"},
+                out="(B, L, hidden_dim)",
+                params=("cell",))
     def infer_forward(self, x: np.ndarray) -> np.ndarray:
         """No-tape mirror of :meth:`forward`."""
         state = None
@@ -116,6 +131,9 @@ class ChildSumTreeLSTM(Module):
         self.f_x = Linear(input_dim, hidden_dim, rng=rng)
         self.f_h = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
 
+    @shape_spec(inputs={"x": "(B, input_dim)"},
+                out=("(B, hidden_dim)", "(B, hidden_dim)"),
+                params=("iou_x", "iou_h", "f_x", "f_h"))
     def node_forward(self, x: Tensor, child_states: list[tuple[Tensor, Tensor]]) -> tuple[Tensor, Tensor]:
         """Compute the (h, c) state of one node given its children's states.
 
@@ -142,6 +160,9 @@ class ChildSumTreeLSTM(Module):
         h = o * c.tanh()
         return h, c
 
+    @shape_spec(inputs={"x": "(B, input_dim)"},
+                out=("(B, hidden_dim)", "(B, hidden_dim)"),
+                params=("iou_x", "iou_h", "f_x", "f_h"))
     def infer_node_forward(
         self, x: np.ndarray, child_states: list[tuple[np.ndarray, np.ndarray]]
     ) -> tuple[np.ndarray, np.ndarray]:

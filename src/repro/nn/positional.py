@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .spec import shape_spec
+
 __all__ = ["sinusoidal_encoding", "tree_path_encoding", "TreePosition"]
 
 # Decode workloads re-encode the same shallow tree paths for every
@@ -22,6 +24,7 @@ _TREE_PATH_CACHE: dict[tuple, np.ndarray] = {}
 _TREE_PATH_CACHE_MAX = 4096
 
 
+@shape_spec(out="(length, dim)")
 def sinusoidal_encoding(length: int, dim: int) -> np.ndarray:
     """Classic transformer sin/cos positional encoding of shape (length, dim)."""
     if dim % 2 != 0:
@@ -64,6 +67,7 @@ class TreePosition:
         return f"TreePosition({self.path})"
 
 
+@shape_spec(out="(dim,)")
 def tree_path_encoding(position: TreePosition, dim: int, max_depth: int | None = None) -> np.ndarray:
     """Encode a tree position as a fixed-width vector (Shiv & Quirk style).
 

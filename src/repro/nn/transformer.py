@@ -13,6 +13,7 @@ import numpy as np
 from . import kernels
 from .attention import MultiHeadAttention, causal_mask
 from .layers import Dropout, LayerNorm, Linear, Module, ModuleList
+from .spec import shape_spec
 from .tensor import Tensor, no_tape_active
 
 __all__ = ["TransformerEncoderLayer", "TransformerEncoder", "TransformerDecoderLayer", "TransformerDecoder"]
@@ -32,6 +33,9 @@ class TransformerEncoderLayer(Module):
         self.ff2 = Linear(ff_dim, dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
 
+    @shape_spec(inputs={"x": "(B, L, dim)"},
+                out="(B, L, dim)",
+                params=("attn", "norm1", "norm2", "ff1", "ff2"))
     def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
         if no_tape_active():
             return Tensor._wrap(self.infer_forward(x.data, key_padding_mask=key_padding_mask))
@@ -41,6 +45,9 @@ class TransformerEncoderLayer(Module):
         x = x + self.dropout(self.ff2(self.ff1(normed).relu()))
         return x
 
+    @shape_spec(inputs={"x": "(B, L, dim)"},
+                out="(B, L, dim)",
+                params=("attn", "norm1", "norm2", "ff1", "ff2"))
     def infer_forward(
         self,
         x: np.ndarray,
@@ -68,6 +75,9 @@ class TransformerEncoder(Module):
         )
         self.final_norm = LayerNorm(dim)
 
+    @shape_spec(inputs={"x": "(B, L, dim)"},
+                out="(B, L, dim)",
+                params=("layers", "final_norm"))
     def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
         if no_tape_active():
             return Tensor._wrap(self.infer_forward(x.data, key_padding_mask=key_padding_mask))
@@ -75,6 +85,9 @@ class TransformerEncoder(Module):
             x = layer(x, key_padding_mask=key_padding_mask)
         return self.final_norm(x)
 
+    @shape_spec(inputs={"x": "(B, L, dim)"},
+                out="(B, L, dim)",
+                params=("layers", "final_norm"))
     def infer_forward(
         self,
         x: np.ndarray,
@@ -104,6 +117,9 @@ class TransformerDecoderLayer(Module):
         self.ff2 = Linear(ff_dim, dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
 
+    @shape_spec(inputs={"x": "(B, L, dim)", "memory": "(B, L_m, dim)"},
+                out="(B, L, dim)",
+                params=("self_attn", "cross_attn", "norm1", "norm2", "norm3", "ff1", "ff2"))
     def forward(
         self,
         x: Tensor,
@@ -123,6 +139,9 @@ class TransformerDecoderLayer(Module):
         x = x + self.dropout(self.ff2(self.ff1(normed).relu()))
         return x
 
+    @shape_spec(inputs={"x": "(B, L, dim)", "memory": "(B, L_m, dim)"},
+                out="(B, L, dim)",
+                params=("self_attn", "cross_attn", "norm1", "norm2", "norm3", "ff1", "ff2"))
     def infer_forward(
         self,
         x: np.ndarray,
@@ -170,6 +189,9 @@ class TransformerDecoder(Module):
         )
         self.final_norm = LayerNorm(dim)
 
+    @shape_spec(inputs={"x": "(B, L, dim)", "memory": "(B, L_m, dim)"},
+                out="(B, L, dim)",
+                params=("layers", "final_norm"))
     def forward(
         self,
         x: Tensor,
@@ -184,6 +206,9 @@ class TransformerDecoder(Module):
             x = layer(x, memory, memory_padding_mask=memory_padding_mask)
         return self.final_norm(x)
 
+    @shape_spec(inputs={"x": "(B, L, dim)", "memory": "(B, L_m, dim)"},
+                out="(B, L, dim)",
+                params=("layers", "final_norm"))
     def infer_forward(
         self,
         x: np.ndarray,
@@ -211,6 +236,7 @@ class TransformerDecoder(Module):
             )
         return self.final_norm.infer_forward(x)
 
+    @shape_spec(inputs={"memory": "(B, L_m, dim)"}, params=("layers",))
     def infer_project_memory_kv(self, memory: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
         """Cross-attention K/V of ``memory`` for every layer — the
         per-decode work a :class:`repro.nn.KVCache` amortizes."""
