@@ -11,15 +11,15 @@ Run:  python examples/cross_db_transfer.py [--databases N]
 """
 
 import argparse
-import time
 
 from repro.core import MLAConfig, ModelConfig
 from repro.datagen import generate_databases
+from repro.engine.timing import Stopwatch
 from repro.eval import format_table3, run_table3
 
 
 def main(num_databases: int = 4) -> None:
-    start = time.time()
+    watch = Stopwatch()
     print(f"generating {num_databases} synthetic databases (Section 6.2 pipeline)...")
     databases = generate_databases(
         num_databases, base_seed=100, row_range=(200, 900), attr_range=(2, 4),
@@ -44,7 +44,7 @@ def main(num_databases: int = 4) -> None:
                                  shared_layers=2, decoder_layers=2),
     )
     print(format_table3(rows, title="Table 3: Execution time on the unseen database"))
-    print(f"\ntotal wall time: {time.time() - start:.0f}s")
+    print(f"\ntotal wall time: {watch.elapsed_s:.0f}s")
 
 
 if __name__ == "__main__":

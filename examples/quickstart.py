@@ -17,7 +17,10 @@ Runs the full pipeline end-to-end in under a minute:
    adapt the live model online behind a regression gate;
 8. run a federated fleet — two tenants serving locally while a
    coordinator merges their shared-(S)/(T) updates, then onboard a
-   third tenant zero-shot (its featurizer is the only thing trained).
+   third tenant zero-shot (its featurizer is the only thing trained);
+9. observe it all — re-serve with a ``Telemetry`` handle, trace one
+   request through queue -> batch -> decode -> cache, and write a
+   snapshot for ``python -m repro.obs``.
 
 Run:  python examples/quickstart.py
 """
@@ -245,6 +248,44 @@ def main() -> None:
         print(format_fleet_report(fleet.report()))
         for tenant in nodes:
             tenant.stop()
+
+    print("\n=== 9. Observability: trace a request, snapshot the telemetry ===")
+    # One Telemetry handle (metrics registry + trace spans + per-tenant
+    # SLOs) threads through the serving stack (DESIGN.md section 13).
+    # Trace IDs are minted per request and travel across threads, so the
+    # spans below were recorded by client, drain-worker, and feedback
+    # threads yet line up on one trace.
+    from repro.obs import Telemetry, write_snapshot
+
+    telemetry = Telemetry()
+
+    def serve_concurrently(service, items):
+        workers = [
+            threading.Thread(target=service.optimize, args=(item,)) for item in items
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    with OptimizerService(model, db.name, ServeConfig(max_batch_size=8),
+                          telemetry=telemetry) as service:
+        serve_concurrently(service, jo_items)
+        serve_concurrently(service, jo_items)  # second pass hits the plan cache
+    complete = telemetry.tracer.complete_traces({"queue_wait", "batch", "decode"})
+    spans = telemetry.tracer.trace(complete[0])
+    t0 = min(s.start_s for s in spans)
+    print(f"one request's life (trace {complete[0]}, {len(spans)} spans):")
+    for span in spans:
+        print(f"  +{1000 * (span.start_s - t0):7.2f}ms  {span.name:<12}"
+              f"{1000 * span.duration_s:8.3f}ms  [{span.thread}]")
+    status = telemetry.slo.status(db.name)
+    print(f"SLO: {status.window} requests in window, {status.violations} violations, "
+          f"burn {status.burn_rate:.2f}x of budget")
+    snapshot_path = os.path.join(tempfile.gettempdir(), "quickstart_telemetry.json")
+    write_snapshot(snapshot_path, telemetry.snapshot())
+    print(f"snapshot written: {snapshot_path}")
+    print(f"  render it with: PYTHONPATH=src python -m repro.obs {snapshot_path}")
 
     print("\ndone — see examples/single_db_study.py for the full Table 1/2 reproduction,"
           "\n       examples/serve_demo.py for serving + live model hot-swap,"

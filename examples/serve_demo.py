@@ -14,6 +14,12 @@ and no lost request).  Ends with the serving report — throughput,
 latency percentiles, batch sizes, per-replica utilization, cache hit
 rate, swap count — and a parity spot-check against direct calls.
 
+The whole run is observed: a ``repro.obs.Telemetry`` handle records
+request traces (queue -> batch -> decode -> cache), per-replica
+histograms, and the tenant's SLO burn rate, and the demo writes the
+snapshot to ``serve_demo_telemetry.json`` — render it afterwards with
+``PYTHONPATH=src python -m repro.obs serve_demo_telemetry.json``.
+
 Run:  PYTHONPATH=src python examples/serve_demo.py
 """
 
@@ -32,12 +38,14 @@ from repro.core import (
 from repro.datagen import generate_database
 from repro.engine.plan import scan_node
 from repro.eval import format_serving_report
+from repro.obs import Telemetry, write_snapshot
 from repro.serve import OptimizerService, ServeConfig
 from repro.sql import Query
 from repro.workload import LabeledQuery, QueryLabeler, WorkloadConfig, WorkloadGenerator
 
 CONCURRENCY = 16
 REQUESTS_PER_CLIENT = 12
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "..", "serve_demo_telemetry.json")
 
 
 def main() -> None:
@@ -88,7 +96,8 @@ def main() -> None:
             with lock:
                 answered[index] = order
 
-    with OptimizerService(model, db.name, serve_config) as service:
+    telemetry = Telemetry()
+    with OptimizerService(model, db.name, serve_config, telemetry=telemetry) as service:
         threads = [threading.Thread(target=client, args=(slot, service)) for slot in range(CONCURRENCY)]
         for thread in threads:
             thread.start()
@@ -144,7 +153,20 @@ def main() -> None:
     direct = retrained.predict_join_orders(db.name, [pool[i] for i in indices])
     agreement = sum(answered[i] == order for i, order in zip(indices, direct))
     print(f"post-swap served orders identical to direct calls: {agreement}/{len(indices)}")
-    print("\ndone — see DESIGN.md 'Serving architecture' and 'Model lifecycle'")
+
+    print("\n=== 6. Telemetry snapshot ===")
+    complete = telemetry.tracer.complete_traces({"queue_wait", "batch", "decode"})
+    status = telemetry.slo.status(db.name)
+    print(f"{len(telemetry.tracer.spans())} spans in the trace ring, "
+          f"{len(complete)} complete request traces")
+    print(f"SLO: {status.window} requests in window, {status.violations} violations, "
+          f"burn {status.burn_rate:.2f}x of budget")
+    snapshot_path = write_snapshot(SNAPSHOT_PATH, telemetry.snapshot())
+    print(f"snapshot written: {os.path.abspath(snapshot_path)}")
+    print("  render it with: PYTHONPATH=src python -m repro.obs "
+          f"{os.path.relpath(snapshot_path)}")
+    print("\ndone — see DESIGN.md 'Serving architecture', 'Model lifecycle'"
+          " and 'Observability'")
 
 
 if __name__ == "__main__":

@@ -10,15 +10,15 @@ Run:  python examples/single_db_study.py [--fast]
 """
 
 import argparse
-import time
 
 from repro.core import ModelConfig
 from repro.datagen import imdb_like
+from repro.engine.timing import Stopwatch
 from repro.eval import SingleDBStudy, StudyConfig, format_table1, format_table2
 
 
 def main(fast: bool = False) -> None:
-    start = time.time()
+    watch = Stopwatch()
     print("building the IMDB-like database (21 tables)...")
     db = imdb_like(seed=0, scale=0.25 if fast else 0.5, fk_skew=1.3, fk_correlation=0.8)
     print(f"  {len(db.table_names)} tables, {db.total_rows()} rows")
@@ -45,7 +45,7 @@ def main(fast: bool = False) -> None:
     print()
     rows2 = study.table2(with_ablation=not fast)
     print(format_table2(rows2))
-    print(f"\ntotal wall time: {time.time() - start:.0f}s")
+    print(f"\ntotal wall time: {watch.elapsed_s:.0f}s")
 
 
 if __name__ == "__main__":

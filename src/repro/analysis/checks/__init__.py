@@ -18,6 +18,7 @@ from .hygiene import (
     WallClockChecker,
 )
 from .lock_discipline import EntryLockRule, LockDisciplineChecker
+from .obs_discipline import ObsDisciplineChecker
 from .shapes import DtypeChecker, DualModeParityChecker, ShapeChecker
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "SilentExceptChecker",
     "WallClockChecker",
     "ScratchPrivacyChecker",
+    "ObsDisciplineChecker",
     "ShapeChecker",
     "DtypeChecker",
     "DualModeParityChecker",
@@ -51,6 +53,7 @@ def all_checkers() -> list[Checker]:
         SilentExceptChecker(),
         WallClockChecker(),
         ScratchPrivacyChecker(),
+        ObsDisciplineChecker(),
         ShapeChecker(),
         DtypeChecker(),
         DualModeParityChecker(),

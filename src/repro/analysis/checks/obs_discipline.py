@@ -1,0 +1,140 @@
+"""Telemetry-usage discipline for the ``repro.obs`` substrate.
+
+Two rules keep instrumentation from degrading the code it observes:
+
+- **balanced spans** — the imperative ``start_span``/``end_span`` pair
+  is an obs-internal implementation detail; outside the ``obs`` package
+  every span must use the context-manager form (``with tracer.span(...)``
+  / ``with maybe_span(...)``), which cannot leak an unclosed span past
+  an exception.
+- **no recording under a service mutex** — metric and SLO recording
+  takes the metric's private lock; doing it while lexically holding one
+  of the enclosing class's own locks both serializes unrelated request
+  threads behind telemetry and threads the service lock into the
+  metric-lock order.  Record after releasing, the way
+  ``ServiceStats.note_completed`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..linter import SourceModule
+from .base import Checker, dotted_name, iter_functions, lock_attrs_of_class, self_attr
+
+__all__ = ["ObsDisciplineChecker"]
+
+# Attribute leaves that record into a metric: Counter.inc,
+# Histogram.observe, Gauge.update_max.  (Gauge.set is excluded — "set"
+# is far too generic a method name to match on its leaf alone.)
+_RECORDING_LEAVES = frozenset({"inc", "observe", "update_max"})
+# Dotted-name suffixes that record through a telemetry handle even
+# though their leaf ("record") is generic: SLOTracker.record and
+# TraceRecorder.record reached via *.slo / *.tracer.
+_RECORDING_SUFFIXES = ("slo.record", "tracer.record")
+
+_IMPERATIVE_SPAN_LEAVES = frozenset({"start_span", "end_span"})
+
+
+class ObsDisciplineChecker(Checker):
+    """Spans balanced by construction; no telemetry under a mutex."""
+
+    name = "obs-discipline"
+    description = (
+        "spans use the context-manager form outside obs/; "
+        "no metric recording while holding a service lock"
+    )
+
+    def __init__(self, internal_prefixes: "tuple[str, ...]" = ("repro/obs/",)):
+        # Modules whose rel_path contains one of these fragments may use
+        # the imperative span API (they implement it).
+        self.internal_prefixes = internal_prefixes
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        if not self._is_internal(module):
+            self._check_imperative_spans(module, findings)
+        self._check_recording_under_lock(module, findings)
+        return findings
+
+    def _is_internal(self, module: SourceModule) -> bool:
+        path = module.rel_path.replace("\\", "/")
+        return any(prefix in path for prefix in self.internal_prefixes)
+
+    # -- rule 1: context-manager spans only ----------------------------
+    def _check_imperative_spans(self, module: SourceModule, findings: list[Finding]) -> None:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            leaf = node.func.attr
+            if leaf in _IMPERATIVE_SPAN_LEAVES:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"imperative {leaf}() outside repro.obs — an exception "
+                        f"between start and end leaks an unclosed span; use "
+                        f"'with tracer.span(...)' / 'with maybe_span(...)'",
+                    )
+                )
+
+    # -- rule 2: no recording while holding an own lock ----------------
+    def _check_recording_under_lock(self, module: SourceModule, findings: list[Finding]) -> None:
+        for qualname, cls, func in iter_functions(module.tree):
+            if cls is None:
+                continue
+            aliases, _ = lock_attrs_of_class(cls, module)
+            if not aliases:
+                continue
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, ast.With):
+                    continue
+                held = self._held_lock(stmt, aliases)
+                if held is None:
+                    continue
+                for call in self._body_walk(stmt):
+                    label = self._recording_call(call)
+                    if label is not None:
+                        findings.append(
+                            self.finding(
+                                module,
+                                call,
+                                f"{label} while holding self.{held} — telemetry "
+                                f"recording takes the metric's own lock; move it "
+                                f"after the 'with self.{held}:' block",
+                                symbol=qualname,
+                            )
+                        )
+        return None
+
+    @staticmethod
+    def _held_lock(node: ast.With, aliases: "dict[str, str]") -> "str | None":
+        for item in node.items:
+            attr = self_attr(item.context_expr)
+            if attr is not None and attr in aliases:
+                return attr
+        return None
+
+    @staticmethod
+    def _body_walk(with_node: ast.With):
+        """Calls lexically inside the with body (including nested withs)."""
+        for stmt in with_node.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    yield node
+
+    @staticmethod
+    def _recording_call(call: ast.Call) -> "str | None":
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        leaf = call.func.attr
+        if leaf in _RECORDING_LEAVES:
+            return f"{leaf}()"
+        if leaf == "record":
+            dotted = dotted_name(call.func)
+            if dotted is not None and any(
+                dotted.endswith(suffix) for suffix in _RECORDING_SUFFIXES
+            ):
+                return f"{dotted}()"
+        return None

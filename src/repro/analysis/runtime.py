@@ -135,11 +135,16 @@ class LockMonitor:
         max_wait_s: float | None = None,
         raise_on_cycle: bool = False,
         capture_stacks: bool = True,
+        registry=None,
     ):
         self.max_hold_s = max_hold_s
         self.max_wait_s = max_wait_s
         self.raise_on_cycle = raise_on_cycle
         self.capture_stacks = capture_stacks
+        # Optional repro.obs.MetricsRegistry: every traced hold/wait
+        # duration lands in a per-lock histogram, not just the ones
+        # beyond the violation thresholds.
+        self.registry = registry
         self._glock = threading.Lock()
         self._edges: dict[str, set[str]] = {}
         self._edge_examples: dict[tuple[str, str], _Edge] = {}
@@ -177,8 +182,14 @@ class LockMonitor:
         return " <- ".join(f"{f.name}:{f.lineno}" for f in reversed(frames[-5:]))
 
     # -- events ----------------------------------------------------------
+    def _observe(self, name: str, lock_name: str, seconds: float) -> None:
+        """Record a hold/wait duration; runs outside ``_glock``."""
+        if self.registry is not None:
+            self.registry.histogram(name, {"lock": lock_name}).observe(seconds)
+
     def _on_acquired(self, lock: TracedLock, waited_s: float) -> None:
         thread = threading.current_thread().name
+        self._observe("lock.wait_s", lock.name, waited_s)
         if self.max_wait_s is not None and waited_s > self.max_wait_s:
             with self._glock:
                 self.hold_violations.append(
@@ -203,6 +214,7 @@ class LockMonitor:
                 if entry["depth"] == 0:
                     held_s = time.monotonic() - entry["acquired_at"]
                     del stack[index]
+                    self._observe("lock.hold_s", lock.name, held_s)
                     if self.max_hold_s is not None and held_s > self.max_hold_s:
                         with self._glock:
                             self.hold_violations.append(

@@ -14,13 +14,41 @@ costs would rank them — which is the property Tables 2/3 measure.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from .operators import WorkReport
 
-__all__ = ["TimingModel", "DEFAULT_TIMING", "over_limit_penalty_ms"]
+__all__ = ["TimingModel", "DEFAULT_TIMING", "over_limit_penalty_ms", "Stopwatch"]
+
+
+class Stopwatch:
+    """Monotonic duration helper for the few places that *do* measure
+    real wall time (examples, benchmarks).
+
+    ``time.time()`` jumps under NTP adjustment, so every duration in the
+    repo is measured against the monotonic clock; this tiny class keeps
+    the idiom in one place instead of scattering ``time.monotonic()``
+    pairs.
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self):
+        self._started = time.monotonic()
+
+    def restart(self) -> None:
+        self._started = time.monotonic()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def elapsed_ms(self) -> float:
+        return 1000.0 * (time.monotonic() - self._started)
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ import os
 import shutil
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..core.checkpoint import save_checkpoint
@@ -44,6 +45,7 @@ from ..core.config import ModelConfig
 from ..core.encoders import DatabaseFeaturizer
 from ..core.federated import aggregate_shared_states
 from ..core.model import MTMLFQO
+from ..obs.trace import maybe_span
 from .config import FleetConfig
 from .node import TenantNode
 from .report import FleetReport
@@ -69,6 +71,12 @@ class FleetRound:
     failed: list[str] = field(default_factory=list)
     checkpoint_path: str | None = None
     reverted: bool = False
+    # Tenants whose SLO error budget was burning faster than allowed at
+    # the end of this round (empty without a telemetry bundle): the
+    # round-level signal the ROADMAP's fleet item asks for — a merge
+    # that helps the median tenant but breaches one tenant's SLO is
+    # flagged on the round itself.
+    slo_breached: "tuple[str, ...]" = ()
 
     @property
     def merged(self) -> bool:
@@ -95,9 +103,14 @@ class FleetCoordinator:
         model_config: ModelConfig | None = None,
         config: FleetConfig | None = None,
         global_model: MTMLFQO | None = None,
+        telemetry=None,
     ):
         self.config = config or FleetConfig()
         self.global_model = global_model or MTMLFQO(model_config)
+        # Optional shared repro.obs.Telemetry: round spans and counters
+        # land in it, onboarded tenants inherit it (tenant-keyed SLO
+        # recording), and report() folds its per-tenant SLO state in.
+        self.telemetry = telemetry
         self.tenants: dict[str, TenantNode] = {}  # guarded-by: _tenants_lock
         self.rounds: list[FleetRound] = []  # guarded-by: _stats_lock
         self.reverted_rounds = 0  # guarded-by: _stats_lock
@@ -180,6 +193,7 @@ class FleetCoordinator:
             serve_config=serve_config,
             feedback_config=feedback_config,
             name=name,
+            telemetry=self.telemetry,
         )
         return self.register(tenant)
 
@@ -207,6 +221,10 @@ class FleetCoordinator:
     def _run_round_locked(self) -> FleetRound:
         with self._stats_lock:
             round_ = FleetRound(index=len(self.rounds))
+        telemetry = self.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        round_trace = tracer.new_trace() if tracer is not None else 0
+        round_started = time.perf_counter()
         broadcast = self.global_state()
         tenants = self._tenant_snapshot()
 
@@ -224,7 +242,9 @@ class FleetCoordinator:
             except BaseException as error:
                 results[tenant_name] = error
 
-        self._run_per_tenant(tenants, harvest, stage="harvest")
+        with maybe_span(telemetry, round_trace, "fleet.harvest") as span:
+            span.set("round", round_.index).set("tenants", len(tenants))
+            self._run_per_tenant(tenants, harvest, stage="harvest")
 
         states: list[dict] = []
         weights: list[float] = []
@@ -245,7 +265,7 @@ class FleetCoordinator:
 
         if states:
             try:
-                self._merge_and_push(round_, tenants, states, weights)
+                self._merge_and_push(round_, tenants, states, weights, round_trace)
             except BaseException:
                 # The merge never landed (e.g. save_checkpoint on a full
                 # disk): the global model was not yet touched — it is
@@ -256,11 +276,38 @@ class FleetCoordinator:
                 self._abandon_round(round_, tenants)
                 raise
 
+        self._note_round(round_, round_trace, round_started)
         with self._stats_lock:
             self.rounds.append(round_)
         return round_
 
-    def _merge_and_push(self, round_: FleetRound, tenants, states, weights) -> None:
+    def _note_round(self, round_: FleetRound, round_trace: int, round_started: float) -> None:
+        """Round-end telemetry (outside every coordinator lock): capture
+        the fleet's SLO state on the round and count/trace the round."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        round_.slo_breached = telemetry.slo.breached()
+        registry = telemetry.registry
+        registry.counter("fleet.rounds").inc()
+        if round_.reverted:
+            registry.counter("fleet.reverted_rounds").inc()
+        if round_.slo_breached:
+            registry.counter("fleet.slo_breached_rounds").inc()
+        registry.histogram("fleet.round_s").observe(time.perf_counter() - round_started)
+        telemetry.tracer.event(
+            round_trace,
+            "round.done",
+            {
+                "participants": len(round_.participants),
+                "accepted": len(round_.accepted),
+                "rejected": len(round_.rejected),
+                "reverted": round_.reverted,
+                "slo_breached": list(round_.slo_breached),
+            },
+        )
+
+    def _merge_and_push(self, round_: FleetRound, tenants, states, weights, round_trace: int = 0) -> None:
         """Merge → checkpoint → gated push → publish (or revert).
 
         The merged weights live in a *staging* model until the push
@@ -270,15 +317,17 @@ class FleetCoordinator:
         observe a torn write or a merged state that every gate is about
         to reject.
         """
-        merged = aggregate_shared_states(
-            states, weights, reference=self.global_state()
-        )
-        staging = MTMLFQO(self.global_model.config)
-        staging.load_state_dict(merged)
-        round_.checkpoint_path = save_checkpoint(
-            staging,
-            os.path.join(self._checkpoint_dir(), f"round-{round_.index:04d}"),
-        )
+        with maybe_span(self.telemetry, round_trace, "fleet.merge") as span:
+            span.set("participants", len(states))
+            merged = aggregate_shared_states(
+                states, weights, reference=self.global_state()
+            )
+            staging = MTMLFQO(self.global_model.config)
+            staging.load_state_dict(merged)
+            round_.checkpoint_path = save_checkpoint(
+                staging,
+                os.path.join(self._checkpoint_dir(), f"round-{round_.index:04d}"),
+            )
 
         # Push phase: every tenant gates the merged model, whether or
         # not it trained this round — receiving is how an idle or
@@ -300,7 +349,9 @@ class FleetCoordinator:
         # re-driving a broken tenant would only double-count it (or
         # list it as failed *and* accepted in the same round).
         push_tenants = [entry for entry in tenants if entry[0] not in round_.failed]
-        self._run_per_tenant(push_tenants, push, stage="push")
+        with maybe_span(self.telemetry, round_trace, "fleet.push") as span:
+            span.set("tenants", len(push_tenants))
+            self._run_per_tenant(push_tenants, push, stage="push")
         for tenant_name, _ in push_tenants:
             outcome = outcomes.get(tenant_name)
             if isinstance(outcome, BaseException):
@@ -439,6 +490,7 @@ class FleetCoordinator:
         # before entering the stats lock so it stays a leaf.
         tenant_reports = {name: tenant.report() for name, tenant in tenants}
         tenant_counters = {name: tenant.counters() for name, tenant in tenants}
+        slo = self.telemetry.slo.statuses() if self.telemetry is not None else {}
         with self._stats_lock:
             return FleetReport(
                 tenants=tenant_reports,
@@ -448,4 +500,5 @@ class FleetCoordinator:
                 round_failures=self.round_failures,
                 tenant_failures=self.tenant_failures,
                 last_round=self.rounds[-1] if self.rounds else None,
+                slo=slo,
             )

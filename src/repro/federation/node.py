@@ -63,17 +63,23 @@ class TenantNode:
         serve_config=None,
         feedback_config: FeedbackConfig | None = None,
         name: str | None = None,
+        telemetry=None,
     ):
         self.db = db
         self.config = config or FleetConfig()
         self.name = name or db.name
+        self.telemetry = telemetry
         model.featurizer_for(db.name)  # fail fast on a missing (F) module
         if serve_config is None:
             # Tenants serve through a replica pool sized by the fleet
             # config; an explicit serve_config overrides it wholesale.
             serve_config = ServeConfig(num_replicas=self.config.num_replicas)
-        self.service = OptimizerService(model, db.name, serve_config)
-        self.collector = FeedbackCollector(db, feedback_config)
+        self.service = OptimizerService(model, db.name, serve_config, telemetry=telemetry)
+        # SLO outcomes are tracked per *tenant*, not per database: two
+        # tenants serving the same database name must burn their error
+        # budgets separately.
+        self.service.slo_name = self.name
+        self.collector = FeedbackCollector(db, feedback_config, telemetry=telemetry)
         self.service.attach_feedback(self.collector)
         self.buffer = self.collector.buffer
         self._estimator = HistogramEstimator(db)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..obs.slo import SLOStatus
 from ..serve.stats import ServingReport
 
 if TYPE_CHECKING:  # circular at runtime: coordinator imports this module
@@ -34,6 +35,11 @@ class FleetReport:
     round_failures: int = 0
     tenant_failures: int = 0
     last_round: "FleetRound | None" = None
+    # Per-tenant SLO state (empty unless the coordinator carries a
+    # telemetry bundle): rolling error-budget burn rates, so a round
+    # that helps the median tenant but breaches one tenant's SLO is
+    # visible in the same report that shows the round's gate outcomes.
+    slo: dict[str, SLOStatus] = field(default_factory=dict)
 
     # -- fleet-wide aggregates -----------------------------------------
     def _sum(self, attribute: str) -> int:
@@ -84,3 +90,10 @@ class FleetReport:
     @property
     def gate_unvalidated(self) -> int:
         return self._counter_sum("gate_unvalidated")
+
+    @property
+    def slo_breached(self) -> "tuple[str, ...]":
+        """Tenants currently burning error budget faster than allowed."""
+        return tuple(
+            name for name, status in sorted(self.slo.items()) if status.breached
+        )

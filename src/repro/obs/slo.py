@@ -1,0 +1,175 @@
+"""Per-tenant latency SLO tracking with rolling error-budget burn rate.
+
+The ROADMAP's fleet open item: a federation round that helps the median
+tenant but violates one tenant's latency SLO must be *visible and
+gateable*.  :class:`SLOTracker` is the substrate: the serving layer
+records every completed request's latency under the tenant's name, and
+the tracker keeps a rolling window of meet/violate outcomes per tenant.
+
+Semantics (window = the last ``window`` requests per tenant):
+
+- **objective** — "fraction ``target`` of requests complete within
+  ``latency_s``" (e.g. 95% under 250 ms);
+- **error budget** — the allowed violation fraction, ``1 - target``;
+- **burn rate** — observed violation fraction divided by the budget.
+  1.0 means violations arrive exactly at the sustainable rate; above
+  1.0 the tenant is **breached** — the window's violation fraction
+  exceeds the objective's allowance.
+
+A rolling request-count window (rather than wall-clock) keeps the math
+deterministic under simulated load and free of clock reads on the
+record path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SLOObjective", "SLOStatus", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """``target`` fraction of requests must finish within ``latency_s``."""
+
+    latency_s: float = 0.25
+    target: float = 0.95
+
+    def __post_init__(self):
+        if not self.latency_s > 0:
+            raise ValueError(f"SLO latency must be positive, got {self.latency_s}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {self.target}")
+
+    @property
+    def budget(self) -> float:
+        """Allowed violation fraction (the error budget)."""
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """Frozen per-tenant view at one instant."""
+
+    tenant: str
+    objective: SLOObjective
+    total: int            # lifetime requests recorded
+    window: int           # requests currently in the rolling window
+    violations: int       # violations within the window
+    burn_rate: float      # violation_rate / objective.budget
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.window if self.window else 0.0
+
+    @property
+    def breached(self) -> bool:
+        return self.burn_rate > 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "latency_s": self.objective.latency_s,
+            "target": self.objective.target,
+            "total": self.total,
+            "window": self.window,
+            "violations": self.violations,
+            "violation_rate": self.violation_rate,
+            "burn_rate": self.burn_rate,
+            "breached": self.breached,
+        }
+
+
+class _TenantWindow:
+    """Rolling outcome ring for one tenant (locked by the tracker)."""
+
+    __slots__ = ("objective", "outcomes", "total", "violations")
+
+    def __init__(self, objective: SLOObjective, window: int):
+        self.objective = objective
+        self.outcomes: "deque[bool]" = deque(maxlen=window)
+        self.total = 0
+        self.violations = 0  # violations within `outcomes` (kept in sync)
+
+    def record(self, latency_s: float) -> None:
+        violated = latency_s > self.objective.latency_s
+        if len(self.outcomes) == self.outcomes.maxlen and self.outcomes[0]:
+            self.violations -= 1  # the evicted outcome was a violation
+        self.outcomes.append(violated)
+        self.total += 1
+        if violated:
+            self.violations += 1
+
+
+class SLOTracker:
+    """Thread-safe rolling SLO state for any number of tenants.
+
+    Tenants appear on first :meth:`record`; per-tenant objectives may be
+    set up front via :meth:`set_objective` (changing an objective resets
+    that tenant's window — old outcomes were judged against old terms).
+    """
+
+    def __init__(self, objective: "SLOObjective | None" = None, window: int = 1024):
+        if window < 1:
+            raise ValueError(f"SLO window must be >= 1, got {window}")
+        self.default_objective = objective or SLOObjective()
+        self.window = window
+        self._lock = threading.Lock()
+        self._tenants: "dict[str, _TenantWindow]" = {}  # guarded-by: _lock
+
+    def set_objective(self, tenant: str, objective: SLOObjective) -> None:
+        with self._lock:
+            self._tenants[tenant] = _TenantWindow(objective, self.window)
+
+    def record(self, tenant: str, latency_s: float) -> None:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = _TenantWindow(self.default_objective, self.window)
+                self._tenants[tenant] = state
+            state.record(latency_s)
+
+    def _status_locked(self, tenant: str, state: _TenantWindow) -> SLOStatus:  # holds: _lock
+        window = len(state.outcomes)
+        rate = state.violations / window if window else 0.0
+        return SLOStatus(
+            tenant=tenant,
+            objective=state.objective,
+            total=state.total,
+            window=window,
+            violations=state.violations,
+            burn_rate=rate / state.objective.budget,
+        )
+
+    def status(self, tenant: str) -> "SLOStatus | None":
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return None
+            return self._status_locked(tenant, state)
+
+    def statuses(self) -> "dict[str, SLOStatus]":
+        with self._lock:
+            return {
+                tenant: self._status_locked(tenant, state)
+                for tenant, state in self._tenants.items()
+            }
+
+    def breached(self) -> "tuple[str, ...]":
+        """Tenants currently burning error budget faster than allowed."""
+        return tuple(
+            tenant
+            for tenant, status in sorted(self.statuses().items())
+            if status.breached
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "tenants": {
+                tenant: status.to_dict()
+                for tenant, status in sorted(self.statuses().items())
+            },
+        }

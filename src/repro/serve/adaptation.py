@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 from ..core.trainer import JointTrainer
 from ..eval.experiments import join_order_execution_time
+from ..obs.trace import maybe_span
 from ..optimizer.selectivity import HistogramEstimator
 from ..workload.labeler import LabeledQuery
 from .feedback import ExperienceBuffer
@@ -324,10 +325,18 @@ class AdaptationWorker:
         return split_experience(experience, self.config.validation_fraction)
 
     def run_once(self) -> bool:
-        """One collect → retrain → gate → swap cycle; True iff swapped."""
+        """One collect → retrain → gate → swap cycle; True iff swapped.
+
+        When the service carries telemetry, the cycle is one trace:
+        ``adapt.retrain`` → ``adapt.gate`` → a ``gate.accept`` /
+        ``gate.reject`` verdict event → (on accept) ``adapt.swap``.
+        """
         experience, added_at_snapshot = self.buffer.snapshot_with_added()
         if not experience:
             return False
+        telemetry = getattr(self.service, "telemetry", None)
+        tracer = telemetry.tracer if telemetry is not None else None
+        cycle_id = tracer.new_trace() if tracer is not None else 0
         train_slice, val_slice = self._split(experience)
         live = self.service._serving_state()[0].model
 
@@ -340,15 +349,28 @@ class AdaptationWorker:
         # Seed varies per cycle: a retry after a gate rejection (with
         # more experience) explores a different batch order instead of
         # replaying the rejected run's schedule.
-        trainer.train(
-            [(self.db.name, item) for item in train_slice],
-            epochs=self.config.fine_tune_epochs,
-            batch_size=self.config.batch_size,
-            seed=self.config.seed + retrain_index - 1,
-        )
+        with maybe_span(telemetry, cycle_id, "adapt.retrain") as span:
+            span.set("experience", len(train_slice)).set("cycle", retrain_index)
+            trainer.train(
+                [(self.db.name, item) for item in train_slice],
+                epochs=self.config.fine_tune_epochs,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed + retrain_index - 1,
+            )
         candidate = trainer.model
 
-        gate = self._evaluate_gate(live, candidate, val_slice)
+        with maybe_span(telemetry, cycle_id, "adapt.gate") as span:
+            gate = self._evaluate_gate(live, candidate, val_slice)
+            span.set("validation", gate.validation_count)
+        if tracer is not None:
+            tracer.event(
+                cycle_id,
+                "gate.accept" if gate.accepted else "gate.reject",
+                {
+                    "live_regret_ms": round(gate.live_regret_ms, 3),
+                    "candidate_regret_ms": round(gate.candidate_regret_ms, 3),
+                },
+            )
         if not gate.accepted:
             # Experience is marked consumed only when a cycle completes
             # (here, and after a successful install below): a crash at
@@ -368,7 +390,8 @@ class AdaptationWorker:
         path = trainer.save_checkpoint(
             os.path.join(self._checkpoint_dir(), f"adapt-{retrain_index:04d}")
         )
-        self.service.swap_model(candidate)
+        with maybe_span(telemetry, cycle_id, "adapt.swap"):
+            self.service.swap_model(candidate)
         with self._lock:
             self.last_gate = gate
             self._latest_checkpoint = path

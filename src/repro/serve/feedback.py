@@ -35,6 +35,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from ..core.serializer import query_signature
+from ..obs.trace import maybe_span
 from ..workload.labeler import LabeledQuery, QueryLabeler
 
 __all__ = ["ExperienceBuffer", "FeedbackConfig", "FeedbackCollector"]
@@ -161,16 +162,20 @@ class FeedbackCollector:
     ``submit`` is safe from any thread and never blocks on engine work.
     """
 
-    def __init__(self, db, config: FeedbackConfig | None = None):
+    def __init__(self, db, config: FeedbackConfig | None = None, telemetry=None):
         self.config = config or FeedbackConfig()
         self.db = db
+        # Optional repro.obs.Telemetry; inherited from the service on
+        # attach_feedback when not set here.  Labeling spans land on the
+        # trace of the request that produced the experience.
+        self.telemetry = telemetry
         self.labeler = QueryLabeler(
             db,
             max_optimal_tables=self.config.max_optimal_tables,
             max_intermediate_rows=self.config.max_intermediate_rows,
         )
         self.buffer = ExperienceBuffer(self.config.buffer_capacity)
-        self._queue: "deque[tuple[tuple, LabeledQuery, list[str]]]" = deque()  # guarded-by: _mutex
+        self._queue: "deque[tuple[tuple, LabeledQuery, list[str], int]]" = deque()  # guarded-by: _mutex
         self._pending: set[tuple] = set()   # guarded-by: _mutex — signatures queued or in flight
         # Signatures whose execution was recently rejected (over limit,
         # disconnected, error) mapped to the rejection time: a hot
@@ -223,12 +228,14 @@ class FeedbackCollector:
         self.stop()
 
     # -- submission path (called from request threads) -----------------
-    def submit(self, labeled: LabeledQuery, order: list[str]) -> bool:
+    def submit(self, labeled: LabeledQuery, order: list[str], trace_id: int = 0) -> bool:
         """Offer a served order for collection; never blocks on execution.
 
         Returns True when the pair was queued, False when it was deduped
         (signature already buffered or already queued), shed (queue
-        full), or the collector is stopped.
+        full), or the collector is stopped.  ``trace_id`` (when the
+        submitting request was traced) links the eventual labeling span
+        back to the request's trace.
         """
         signature = query_signature(labeled.query)
         if self.buffer.seen(signature):
@@ -246,7 +253,7 @@ class FeedbackCollector:
                 self.dropped_full += 1
                 return False
             self._pending.add(signature)
-            self._queue.append((signature, labeled, order))
+            self._queue.append((signature, labeled, order, trace_id))
             self._wakeup.notify_all()
         return True
 
@@ -258,10 +265,10 @@ class FeedbackCollector:
                     self._wakeup.wait()
                 if not self._queue:
                     return  # stopped and fully drained
-                signature, labeled, order = self._queue.popleft()
+                signature, labeled, order, trace_id = self._queue.popleft()
                 self._busy = True
             try:
-                self._collect(signature, labeled, order)
+                self._collect(signature, labeled, order, trace_id)
             except BaseException:
                 # Never die: a dead collector would silently stop all
                 # experience flow.  The failed pair is dropped (counted).
@@ -290,10 +297,14 @@ class FeedbackCollector:
             return False
         return True
 
-    def _collect(self, signature: tuple, labeled: LabeledQuery, order: list[str]) -> None:
-        item = self.labeler.label_with_order(
-            labeled.query, order, with_optimal_order=self.config.with_optimal_order
-        )
+    def _collect(
+        self, signature: tuple, labeled: LabeledQuery, order: list[str], trace_id: int = 0
+    ) -> None:
+        with maybe_span(self.telemetry, trace_id, "feedback.label") as span:
+            item = self.labeler.label_with_order(
+                labeled.query, order, with_optimal_order=self.config.with_optimal_order
+            )
+            span.set("collected", item is not None)
         if item is None:
             reason = self.labeler.last_skip_reason or "unknown"
             with self._mutex:

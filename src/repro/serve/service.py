@@ -47,6 +47,7 @@ path, so none of the parity guarantees above are weakened by it.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import os
 import threading
 import time
@@ -58,6 +59,12 @@ from ..workload.labeler import LabeledQuery
 from .cache import PlanCache
 from .config import ServeConfig
 from .stats import ServiceStats, ServingReport
+
+# Distinguishes the metrics of multiple service instances sharing one
+# telemetry registry (e.g. sequential benchmark runs, fleet tenants on
+# one database name): counters are monotone per instance, so reusing a
+# label set across instances would resurrect a dead service's totals.
+_INSTANCE_IDS = itertools.count()
 
 __all__ = [
     "OptimizerService",
@@ -87,9 +94,12 @@ _DEFAULT_TIMEOUT = object()
 class _Request:
     """One in-flight optimize() call, fulfilled by the drain thread."""
 
-    __slots__ = ("labeled", "key", "done", "result", "error", "abandoned")
+    __slots__ = (
+        "labeled", "key", "done", "result", "error", "abandoned",
+        "trace_id", "enqueued_at",
+    )
 
-    def __init__(self, labeled: LabeledQuery, key: tuple):
+    def __init__(self, labeled: LabeledQuery, key: tuple, trace_id: int = 0, enqueued_at: float = 0.0):
         self.labeled = labeled
         self.key = key
         self.done = threading.Event()
@@ -99,6 +109,11 @@ class _Request:
         # abandoned requests instead of decoding answers nobody reads —
         # under sustained overload that work would starve live requests.
         self.abandoned = False
+        # Telemetry: the request's trace ID (0 = untraced) and its
+        # enqueue timestamp, carried across the queue so the drain
+        # worker can reconstruct the queue-wait span on the right trace.
+        self.trace_id = trace_id
+        self.enqueued_at = enqueued_at
 
     def fulfill(self, order: list[str]) -> None:
         self.result = list(order)
@@ -143,12 +158,25 @@ class OptimizerService:
     single-drainer service).
     """
 
-    def __init__(self, model, db_name: str, config: ServeConfig | None = None):
+    def __init__(self, model, db_name: str, config: ServeConfig | None = None, telemetry=None):
         self.config = config or ServeConfig()
         self.db_name = db_name
+        # Optional shared repro.obs.Telemetry bundle.  None means no
+        # telemetry at all (the overhead-baseline configuration); a
+        # disabled bundle keeps the handle but takes the one-int-check
+        # fast path on every touchpoint.
+        self.telemetry = telemetry
+        # The name this service's request latencies are recorded under
+        # in the SLO tracker; federation overrides it with the tenant
+        # name (repro.federation.node.TenantNode).
+        self.slo_name = db_name
         self.session = model.inference_session(db_name)  # guarded-by: _mutex
         self.cache = PlanCache(self.config.plan_cache_size)
-        self.stats = ServiceStats(num_replicas=self.config.num_replicas)
+        self.stats = ServiceStats(
+            num_replicas=self.config.num_replicas,
+            registry=telemetry.registry if telemetry is not None else None,
+            labels={"service": f"{db_name}/{next(_INSTANCE_IDS)}"},
+        )
         self._queue: "deque[_Request]" = deque()  # guarded-by: _mutex
         self._mutex = threading.Lock()
         self._nonempty = threading.Condition(self._mutex)
@@ -250,13 +278,28 @@ class OptimizerService:
         into training experience.  Submission is non-blocking: the
         collector dedups by query signature and sheds load when its own
         queue is full, so the request path never waits on an execution.
+
+        The collector inherits this service's telemetry handle (unless
+        it already has one), so feedback-labeling spans land on the
+        originating request's trace.
         """
+        if getattr(collector, "telemetry", None) is None:
+            collector.telemetry = self.telemetry
         self.feedback = collector
         return collector
 
-    def _offer_feedback(self, labeled: LabeledQuery, order: list[str]) -> None:
+    def _offer_feedback(self, labeled: LabeledQuery, order: list[str], trace_id: int = 0) -> None:
         if self.feedback is not None:
-            self.feedback.submit(labeled, order)
+            self.feedback.submit(labeled, order, trace_id=trace_id)
+
+    def _note_served(self, trace_id: int, started_at: float, latency: float) -> None:
+        """Telemetry for one served request (outside every service lock):
+        the request-level span plus the tenant's SLO outcome."""
+        tel = self.telemetry
+        if tel is None or not tel.on:
+            return
+        tel.slo.record(self.slo_name, latency)
+        tel.tracer.record(trace_id, "request", started_at, started_at + latency)
 
     # -- model lifecycle -----------------------------------------------
     def swap_model(self, model_or_path, databases=None):
@@ -365,14 +408,21 @@ class OptimizerService:
             running = self._running
         if not running:
             raise ServiceStoppedError("optimizer service is not running")
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        trace_id = tracer.new_trace() if tracer is not None else 0
         started_at = self.stats.note_request()
         key = self.request_key(labeled)
         cached = self.cache.get(key)
         if cached is not None:
-            self.stats.note_completed(started_at)
-            self._offer_feedback(labeled, cached)
+            latency = self.stats.note_completed(started_at)
+            if trace_id:
+                tracer.event(trace_id, "cache.hit")
+            self._note_served(trace_id, started_at, latency)
+            self._offer_feedback(labeled, cached, trace_id)
             return cached
-        request = _Request(labeled, key)
+        if trace_id:
+            tracer.event(trace_id, "enqueue")
+        request = _Request(labeled, key, trace_id=trace_id, enqueued_at=started_at)
         with self._nonempty:
             if not self._running:
                 raise ServiceStoppedError("optimizer service is not running")
@@ -403,9 +453,10 @@ class OptimizerService:
         if request.error is not None:
             self.stats.note_failed()
             raise request.error
-        self.stats.note_completed(started_at)
+        latency = self.stats.note_completed(started_at)
+        self._note_served(trace_id, started_at, latency)
         assert request.result is not None
-        self._offer_feedback(labeled, request.result)
+        self._offer_feedback(labeled, request.result, trace_id)
         return request.result
 
     # -- drain workers -------------------------------------------------
@@ -441,7 +492,12 @@ class OptimizerService:
                 replica = self._replicas[worker_index]
             decode_started = time.perf_counter()
             try:
-                self._process_batch(batch, replica.session, replica_index=replica.index)
+                self._process_batch(
+                    batch,
+                    replica.session,
+                    replica_index=replica.index,
+                    formed_at=decode_started,
+                )
             except BaseException as error:
                 # A drain worker must survive anything — a dead worker
                 # would shrink the pool silently (and with one replica,
@@ -455,9 +511,18 @@ class OptimizerService:
                     replica.index, time.perf_counter() - decode_started
                 )
 
-    def _process_batch(self, batch: list[_Request], session=None, replica_index=None) -> None:
+    def _process_batch(
+        self, batch: list[_Request], session=None, replica_index=None, formed_at=None
+    ) -> None:
         if session is None:
             session, _ = self._serving_state()
+        if formed_at is None:
+            formed_at = time.perf_counter()
+        # Span recording happens on this worker thread, outside every
+        # service lock, onto the trace IDs the requests carried across
+        # the queue.  One int check when telemetry is off.
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        tracing = tracer is not None and tracer.on
         # 0. Drop requests whose waiter already timed out and left.
         batch = [request for request in batch if not request.abandoned]
         if not batch:
@@ -477,6 +542,11 @@ class OptimizerService:
             if cached is not None:
                 for request in requests:
                     request.fulfill(cached)
+                    if tracing and request.trace_id:
+                        tracer.record(
+                            request.trace_id, "queue_wait", request.enqueued_at, formed_at
+                        )
+                        tracer.event(request.trace_id, "cache.hit")
             else:
                 pending.append((key, requests))
 
@@ -508,15 +578,35 @@ class OptimizerService:
 
         # 4. One coalesced batched decode for every distinct survivor.
         items = [requests[0].labeled for _, requests in runnable]
+        decode_started = time.perf_counter()
         try:
             orders = session.predict_join_orders(items, **self.config.decode_kwargs())
         except BaseException:
             self._serve_individually(runnable, session)
             return
+        decode_ended = time.perf_counter() if tracing else 0.0
         for (key, requests), order in zip(runnable, orders):
             self.cache.put(key, order)
             for request in requests:
                 request.fulfill(order)
+                if tracing and request.trace_id:
+                    trace_id = request.trace_id
+                    tracer.record(trace_id, "queue_wait", request.enqueued_at, formed_at)
+                    tracer.record(
+                        trace_id,
+                        "batch",
+                        formed_at,
+                        decode_started,
+                        {"requests": len(batch), "replica": replica_index},
+                    )
+                    tracer.record(
+                        trace_id,
+                        "decode",
+                        decode_started,
+                        decode_ended,
+                        {"replica": replica_index, "queries": len(runnable)},
+                    )
+                    tracer.event(trace_id, "cache.fill")
 
     def _serve_individually(self, runnable: list[tuple[tuple, list[_Request]]], session=None) -> None:
         """Fallback after a failed batch: isolate the offending request.

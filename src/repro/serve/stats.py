@@ -4,23 +4,32 @@
 writes to; :meth:`ServiceStats.snapshot` freezes it into a
 :class:`ServingReport`, which ``repro.eval.reporting.format_serving_report``
 renders in the repo's table style.
+
+Since the telemetry PR this is a thin facade over a
+:class:`repro.obs.MetricsRegistry`: every counter is a named registry
+metric (labeled with the owning service instance), and latency lives in
+a **fixed-bucket histogram** instead of the former bounded sample deque
+— memory is O(buckets) regardless of traffic, and per-shard histograms
+merge exactly.  Percentiles in the resulting
+:class:`~repro.eval.metrics.LatencyStats` are therefore exact within
+buckets (count/mean/max stay exact); see
+:class:`repro.obs.metrics.Histogram` for the guarantee.  Passing a
+shared registry (via ``OptimizerService(..., telemetry=...)``) makes
+the same numbers visible to the fleet-wide snapshot with no second
+accounting path.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
 
-from ..eval.metrics import LatencyStats, latency_stats
+from ..eval.metrics import LatencyStats
+from ..obs.metrics import MetricsRegistry
 from .cache import CacheStats
 
 __all__ = ["ServiceStats", "ServingReport"]
-
-# Latency samples kept for percentile estimation.  A bounded window
-# (most recent completions) keeps memory flat under unbounded traffic.
-_LATENCY_WINDOW = 8192
 
 
 @dataclass
@@ -96,31 +105,56 @@ class ServingReport:
 
 
 class ServiceStats:
-    """Thread-safe counters; one instance per service."""
+    """Thread-safe counters; one instance per service.
 
-    def __init__(self, num_replicas: int = 1):
-        self._lock = threading.Lock()
-        self._latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)  # guarded-by: _lock
+    Each metric is its own registry entry with its own lock, so writers
+    on different counters never contend; ``_lock`` here guards only the
+    first/last-activity timestamps.  No metric is ever recorded while
+    holding ``_lock`` (the analyzer's ``obs-discipline`` rule).
+    """
+
+    def __init__(
+        self,
+        num_replicas: int = 1,
+        registry: "MetricsRegistry | None" = None,
+        labels: "dict[str, str] | None" = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
         self.num_replicas = max(1, num_replicas)
-        self.completed = 0  # guarded-by: _lock
-        self.rejected = 0  # guarded-by: _lock
-        self.failed = 0  # guarded-by: _lock
-        self.coalesced = 0  # guarded-by: _lock
-        self.batches = 0  # guarded-by: _lock
-        self.batched_requests = 0  # guarded-by: _lock
-        self.model_calls = 0  # guarded-by: _lock
-        self.max_batch = 0  # guarded-by: _lock
-        self.swaps = 0  # guarded-by: _lock
-        self.timeout_near_misses = 0  # guarded-by: _lock
-        self.retired_cache_hits = 0  # guarded-by: _lock
-        self.retired_cache_misses = 0  # guarded-by: _lock
-        # Indexed by drain-worker slot; slots survive replica-set flips,
-        # so these are lifetime counters per pool position.
-        self._replica_batches = [0] * self.num_replicas  # guarded-by: _lock
-        self._replica_requests = [0] * self.num_replicas  # guarded-by: _lock
-        self._replica_busy_s = [0.0] * self.num_replicas  # guarded-by: _lock
+        self._lock = threading.Lock()
         self._first_request_at: float | None = None  # guarded-by: _lock
         self._last_done_at: float | None = None  # guarded-by: _lock
+        counter = self.registry.counter
+        self._completed = counter("serve.completed", labels=self.labels)
+        self._rejected = counter("serve.rejected", labels=self.labels)
+        self._failed = counter("serve.failed", labels=self.labels)
+        self._coalesced = counter("serve.coalesced", labels=self.labels)
+        self._batches = counter("serve.batches", labels=self.labels)
+        self._batched_requests = counter("serve.batched_requests", labels=self.labels)
+        self._model_calls = counter("serve.model_calls", labels=self.labels)
+        self._swaps = counter("serve.swaps", labels=self.labels)
+        self._near_misses = counter("serve.timeout_near_misses", labels=self.labels)
+        self._retired_hits = counter("serve.retired_cache_hits", labels=self.labels)
+        self._retired_misses = counter("serve.retired_cache_misses", labels=self.labels)
+        self._max_batch = self.registry.gauge("serve.max_batch", labels=self.labels)
+        self._latency = self.registry.histogram("serve.latency_s", labels=self.labels)
+        # Indexed by drain-worker slot; slots survive replica-set flips,
+        # so these are lifetime counters per pool position.
+        self._replica_batches = [
+            counter("serve.replica.batches", labels={**self.labels, "replica": str(i)})
+            for i in range(self.num_replicas)
+        ]
+        self._replica_requests = [
+            counter("serve.replica.requests", labels={**self.labels, "replica": str(i)})
+            for i in range(self.num_replicas)
+        ]
+        self._replica_busy = [
+            self.registry.histogram(
+                "serve.replica.busy_s", labels={**self.labels, "replica": str(i)}
+            )
+            for i in range(self.num_replicas)
+        ]
 
     # -- writers (service-internal) ------------------------------------
     def note_request(self) -> float:
@@ -130,35 +164,36 @@ class ServiceStats:
                 self._first_request_at = now
         return now
 
-    def note_completed(self, started_at: float) -> None:
+    def note_completed(self, started_at: float) -> float:
+        """Count a served request; returns its latency in seconds."""
         now = time.perf_counter()
+        latency = now - started_at
         with self._lock:
-            self.completed += 1
-            self._latencies.append(now - started_at)
             self._last_done_at = now
+        self._completed.inc()
+        self._latency.observe(latency)
+        return latency
 
     def note_failed(self) -> None:
+        now = time.perf_counter()
         with self._lock:
-            self.failed += 1
-            self._last_done_at = time.perf_counter()
+            self._last_done_at = now
+        self._failed.inc()
 
     def note_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def note_swap(self, retired: "CacheStats | None" = None) -> None:
         """Count a hot swap; ``retired`` is the pre-swap cache epoch's
         stats (from ``PlanCache.clear(reset_stats=True)``), accumulated
         so lifetime lookup totals survive the counter reset."""
-        with self._lock:
-            self.swaps += 1
-            if retired is not None:
-                self.retired_cache_hits += retired.hits
-                self.retired_cache_misses += retired.misses
+        self._swaps.inc()
+        if retired is not None:
+            self._retired_hits.inc(retired.hits)
+            self._retired_misses.inc(retired.misses)
 
     def note_timeout_near_miss(self) -> None:
-        with self._lock:
-            self.timeout_near_misses += 1
+        self._near_misses.inc()
 
     def note_batch(
         self,
@@ -167,24 +202,35 @@ class ServiceStats:
         num_coalesced: int,
         replica_index: "int | None" = None,
     ) -> None:
-        with self._lock:
-            self.batches += 1
-            self.batched_requests += num_requests
-            self.model_calls += num_model_queries
-            self.coalesced += num_coalesced
-            self.max_batch = max(self.max_batch, num_requests)
-            if replica_index is not None and 0 <= replica_index < self.num_replicas:
-                self._replica_batches[replica_index] += 1
-                self._replica_requests[replica_index] += num_requests
+        self._batches.inc()
+        self._batched_requests.inc(num_requests)
+        self._model_calls.inc(num_model_queries)
+        self._coalesced.inc(num_coalesced)
+        self._max_batch.update_max(num_requests)
+        if replica_index is not None and 0 <= replica_index < self.num_replicas:
+            self._replica_batches[replica_index].inc()
+            self._replica_requests[replica_index].inc(num_requests)
 
     def note_replica_busy(self, replica_index: int, busy_s: float) -> None:
         """Wall-clock one drain worker spent processing a batch (the
         utilization numerator; recorded even when the batch failed)."""
-        with self._lock:
-            if 0 <= replica_index < self.num_replicas:
-                self._replica_busy_s[replica_index] += busy_s
+        if 0 <= replica_index < self.num_replicas:
+            self._replica_busy[replica_index].observe(busy_s)
 
     # ------------------------------------------------------------------
+    def _latency_stats(self) -> "LatencyStats | None":
+        summary = self._latency.summary()
+        if summary is None:
+            return None
+        return LatencyStats(
+            count=summary.count,
+            mean=summary.mean,
+            p50=summary.p50,
+            p95=summary.p95,
+            p99=summary.p99,
+            max=summary.max,
+        )
+
     def snapshot(self, queue_depth: int = 0, cache: "object | None" = None) -> ServingReport:
         """Freeze the counters (plus the cache's, if one is passed)."""
         # Snapshot the cache *before* taking our own lock: CacheStats is
@@ -197,27 +243,27 @@ class ServiceStats:
             else:
                 end = self._last_done_at or time.perf_counter()
                 elapsed = max(end - self._first_request_at, 0.0)
-            return ServingReport(
-                completed=self.completed,
-                rejected=self.rejected,
-                failed=self.failed,
-                cache_hits=cache_stats.hits,
-                cache_misses=cache_stats.misses,
-                coalesced=self.coalesced,
-                batches=self.batches,
-                batched_requests=self.batched_requests,
-                model_calls=self.model_calls,
-                max_batch=self.max_batch,
-                swaps=self.swaps,
-                timeout_near_misses=self.timeout_near_misses,
-                queue_depth=queue_depth,
-                cache_entries=cache_stats.size,
-                elapsed_s=elapsed,
-                latency=latency_stats(self._latencies),
-                num_replicas=self.num_replicas,
-                replica_batches=tuple(self._replica_batches),
-                replica_requests=tuple(self._replica_requests),
-                replica_busy_s=tuple(self._replica_busy_s),
-                retired_cache_hits=self.retired_cache_hits,
-                retired_cache_misses=self.retired_cache_misses,
-            )
+        return ServingReport(
+            completed=int(self._completed.value),
+            rejected=int(self._rejected.value),
+            failed=int(self._failed.value),
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            coalesced=int(self._coalesced.value),
+            batches=int(self._batches.value),
+            batched_requests=int(self._batched_requests.value),
+            model_calls=int(self._model_calls.value),
+            max_batch=int(self._max_batch.value),
+            swaps=int(self._swaps.value),
+            timeout_near_misses=int(self._near_misses.value),
+            queue_depth=queue_depth,
+            cache_entries=cache_stats.size,
+            elapsed_s=elapsed,
+            latency=self._latency_stats(),
+            num_replicas=self.num_replicas,
+            replica_batches=tuple(int(c.value) for c in self._replica_batches),
+            replica_requests=tuple(int(c.value) for c in self._replica_requests),
+            replica_busy_s=tuple(h.sum for h in self._replica_busy),
+            retired_cache_hits=int(self._retired_hits.value),
+            retired_cache_misses=int(self._retired_misses.value),
+        )

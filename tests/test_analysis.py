@@ -29,6 +29,7 @@ from repro.analysis.checks import (
     GradModeChecker,
     GuardedByChecker,
     LockDisciplineChecker,
+    ObsDisciplineChecker,
     RawKernelChecker,
     ScratchPrivacyChecker,
     SilentExceptChecker,
@@ -574,6 +575,114 @@ def decode(memory):
     return cache
 """
         assert run_checker(ScratchPrivacyChecker(), good) == []
+
+
+# ---------------------------------------------------------------------------
+# obs-discipline
+# ---------------------------------------------------------------------------
+class TestObsDisciplineChecker:
+    def test_imperative_span_api_fires_outside_obs(self):
+        bad = """
+def serve(tracer, tid):
+    span = tracer.start_span(tid, "decode")
+    result = work()
+    tracer.end_span(span)
+    return result
+"""
+        findings = run_checker(ObsDisciplineChecker(), bad)
+        assert len(findings) == 2
+        assert "start_span" in findings[0].message
+        assert "with tracer.span" in findings[0].message
+
+    def test_imperative_span_api_allowed_inside_obs(self):
+        source = """
+def serve(tracer, tid):
+    span = tracer.start_span(tid, "decode")
+    tracer.end_span(span)
+"""
+        assert run_checker(
+            ObsDisciplineChecker(), source, rel_path="src/repro/obs/trace.py"
+        ) == []
+
+    def test_context_manager_span_passes(self):
+        good = """
+def serve(tracer, tid):
+    with tracer.span(tid, "decode") as span:
+        span.set("queries", 3)
+        return work()
+"""
+        assert run_checker(ObsDisciplineChecker(), good) == []
+
+    def test_recording_under_own_lock_fires(self):
+        bad = """
+import threading
+
+class Service:
+    def __init__(self, telemetry):
+        self._mutex = threading.Lock()
+        self.telemetry = telemetry
+        self.completed = None
+
+    def done(self, latency):
+        with self._mutex:
+            self.completed.inc()
+            self.latency.observe(latency)
+            self.batch.update_max(4)
+            self.telemetry.slo.record("tenant", latency)
+"""
+        findings = run_checker(ObsDisciplineChecker(), bad)
+        assert len(findings) == 4
+        assert all(f.checker == "obs-discipline" for f in findings)
+        assert all("self._mutex" in f.message for f in findings)
+        assert {f.symbol for f in findings} == {"Service.done"}
+
+    def test_recording_after_lock_release_passes(self):
+        good = """
+import threading
+
+class Service:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self.count = 0  # guarded-by: _mutex
+
+    def done(self, latency):
+        with self._mutex:
+            self.count += 1
+        self.completed.inc()
+        self.latency.observe(latency)
+"""
+        assert run_checker(ObsDisciplineChecker(), good) == []
+
+    def test_generic_record_and_set_do_not_fire(self):
+        # .record on a non-telemetry receiver and .set on anything are
+        # too generic to match; only slo/tracer record sites count.
+        good = """
+import threading
+
+class Recorder:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def note(self, value):
+        with self._lock:
+            self.journal.record(value)
+            self.flags.set(value)
+"""
+        assert run_checker(ObsDisciplineChecker(), good) == []
+
+    def test_suppression_silences(self):
+        source = """
+import threading
+
+class Service:
+    def __init__(self):
+        self._mutex = threading.Lock()
+
+    def done(self):
+        with self._mutex:
+            self.completed.inc()  # analysis: ignore[obs-discipline]
+"""
+        assert run_checker(ObsDisciplineChecker(), source) == []
 
 
 # ---------------------------------------------------------------------------

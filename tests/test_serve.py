@@ -373,8 +373,8 @@ class TestRequestLifecycle:
         expected = model.predict_join_orders(db.name, [labeled[0]])[0]
 
         class RacyRequest(service_module._Request):
-            def __init__(self, labeled_arg, key):
-                super().__init__(labeled_arg, key)
+            def __init__(self, labeled_arg, key, **kwargs):
+                super().__init__(labeled_arg, key, **kwargs)
                 real_event = self.done
                 racy = self
 
